@@ -1,0 +1,68 @@
+"""E56 — the Section 5.6 worked example.
+
+Replays the paper's timeline (Cg=15/Ca=6/Cb=5, the t3 three-node
+failure, SLA3's 10-node allocation, the t5 expiry) and asserts its
+legible anchors; benchmarks the replay and the underlying rebalance
+pass at the example's scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPartition
+from repro.experiments.example56 import (
+    format_example56,
+    run_example56,
+)
+
+from .conftest import report
+
+
+def test_example56_anchors():
+    result = run_example56()
+    report("E56 — Section 5.6 timeline (replayed)",
+           format_example56(result))
+    t3 = result.row("t3")
+    assert t3.effective_cg == 12.0            # 3 nodes inaccessible
+    assert t3.adapt_transfer == pytest.approx(2.0)  # deficit from Ca
+    assert t3.sla3_served == 10.0             # min(g(u), c(u,t))
+    assert result.guarantees_always_honored
+    assert result.never_underutilized
+    t5 = result.row("t5")
+    assert t5.sla3_served == 0.0
+    assert t5.best_effort_served == pytest.approx(
+        result.row("t4").best_effort_served + 10.0)
+
+
+def test_example56_replay_benchmark(benchmark):
+    result = benchmark(run_example56)
+    assert result.guarantees_always_honored
+
+
+def test_example56_rebalance_benchmark(benchmark):
+    """One rebalance pass at the example's scale (2 guaranteed users +
+    1 best-effort borrower over 26 nodes)."""
+    partition = CapacityPartition(15, 6, 5)
+    partition.admit_guaranteed("sla3", 10)
+    partition.admit_guaranteed("other", 4)
+    partition.set_guaranteed_demand("sla3", 10)
+    partition.set_guaranteed_demand("other", 4)
+    partition.set_best_effort_demand("be", 26)
+
+    result = benchmark(partition.rebalance)
+    assert result.guarantees_honored
+
+
+def test_rebalance_scaling_benchmark(benchmark):
+    """Rebalance with 100 guaranteed users and 50 borrowers (scale
+    stress for the water-fill)."""
+    partition = CapacityPartition(600, 200, 200, best_effort_min=50)
+    for index in range(100):
+        partition.admit_guaranteed(f"g{index}", 6)
+        partition.set_guaranteed_demand(f"g{index}", 6)
+    for index in range(50):
+        partition.set_best_effort_demand(f"b{index}", 8)
+
+    result = benchmark(partition.rebalance)
+    assert result.guarantees_honored

@@ -1,0 +1,67 @@
+"""F1 — Figure 1: the multi-domain G-QoSM architecture.
+
+Stands up the two-domain architecture (one AQoS + RM + NRM per domain,
+inter-domain links between them), establishes cross-domain sessions
+through the inter-domain coordinator, and benchmarks architecture
+construction and cross-domain establishment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import build_multidomain
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import NetworkDemand
+from repro.sla.negotiation import ServiceRequest
+
+from .conftest import report
+
+
+def cross_request(client):
+    spec = QoSSpecification.of(
+        exact_parameter(Dimension.CPU, 2),
+        exact_parameter(Dimension.BANDWIDTH_MBPS, 50))
+    return ServiceRequest(
+        client=client, service_name="simulation-service",
+        service_class=ServiceClass.GUARANTEED, specification=spec,
+        start=0.0, end=100.0,
+        network=NetworkDemand("10.1.0.1", "10.2.0.1", 50.0))
+
+
+def test_fig1_architecture_inventory():
+    world = build_multidomain(domains=2)
+    lines = []
+    for domain, broker in world.brokers.items():
+        lines.append(f"  {domain}: AQoS broker, RM "
+                     f"({broker.compute_rm.machine.name}, "
+                     f"{broker.compute_rm.machine.grid_nodes} nodes), "
+                     f"NRM ({domain})")
+    lines.append(f"  inter-domain links: "
+                 f"{len(world.topology.links())}")
+    report("F1 — Figure 1: G-QoSM architecture (2 domains)",
+           "\n".join(lines))
+    assert len(world.brokers) == 2
+
+
+def test_fig1_construction_benchmark(benchmark):
+    world = benchmark(build_multidomain, domains=2)
+    assert len(world.brokers) == 2
+
+
+def test_fig1_cross_domain_session_benchmark(benchmark):
+    counter = [0]
+
+    def establish_cross_domain():
+        # A fresh world each round: establishment mutates global state.
+        world = build_multidomain(domains=2)
+        counter[0] += 1
+        outcome = world.brokers["domain1"].request_service(
+            cross_request(f"client-{counter[0]}"))
+        assert outcome.accepted, outcome.reason
+        return outcome
+
+    outcome = benchmark(establish_cross_domain)
+    assert outcome.sla is not None

@@ -1,0 +1,77 @@
+"""F2 — Figure 2: the full component interaction sequence.
+
+Benchmarks one complete session through every arrow of the sequence
+diagram — QueryServices, resource queries, SLA negotiation, resource
+allocation, service invocation, QoS management, clearing — and prints
+the interaction trace that reproduces the diagram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import build_testbed
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import NetworkDemand
+from repro.sla.negotiation import ServiceRequest
+from repro.units import parse_bound
+
+from .conftest import report
+
+
+def session_request(client="scientists"):
+    spec = QoSSpecification.of(
+        exact_parameter(Dimension.CPU, 10),
+        exact_parameter(Dimension.MEMORY_MB, 2048),
+        exact_parameter(Dimension.DISK_MB, 15360))
+    return ServiceRequest(
+        client=client, service_name="simulation-service",
+        service_class=ServiceClass.GUARANTEED, specification=spec,
+        start=0.0, end=100.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33",
+                              100.0, parse_bound("LessThan 10%")))
+
+
+def run_full_sequence():
+    testbed = build_testbed()
+    outcome = testbed.broker.request_service(session_request())
+    assert outcome.accepted, outcome.reason
+    testbed.broker.conformance_test(outcome.sla.sla_id)
+    testbed.sim.run(until=120.0)
+    return testbed, outcome
+
+
+def test_fig2_sequence_trace():
+    from repro.experiments.sequence import figure2_diagram
+    testbed, outcome = run_full_sequence()
+    report("F2 — Figure 2: component interaction sequence",
+           figure2_diagram(testbed.trace))
+    messages = [entry.message for entry in testbed.trace]
+    assert any("discovery" in m for m in messages)
+    assert any("temporarily reserved" in m for m in messages)
+    assert any("launched" in m for m in messages)
+    assert any("conformance test" in m for m in messages)
+    assert any("closed" in m for m in messages)
+
+
+def test_fig2_full_session_benchmark(benchmark):
+    testbed, outcome = benchmark(run_full_sequence)
+    assert not outcome.sla.status.is_live
+
+
+def test_fig2_establishment_only_benchmark(benchmark):
+    """Establishment latency (the discovery→allocation half)."""
+    testbed = build_testbed()
+    counter = [0]
+
+    def establish():
+        counter[0] += 1
+        outcome = testbed.broker.request_service(
+            session_request(f"client-{counter[0]}"))
+        assert outcome.accepted
+        testbed.broker.terminate_session(outcome.sla.sla_id)
+        return outcome
+
+    benchmark(establish)

@@ -1,0 +1,56 @@
+"""F3 — Figure 3: the QoS management phase machine.
+
+Regenerates the phase → function mapping of Figure 3 and benchmarks
+driving a session through all three phases with every legal function.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sla.lifecycle import (
+    PHASE_FUNCTIONS,
+    Phase,
+    QoSFunction,
+    QoSSession,
+)
+
+from .conftest import report
+
+
+def test_fig3_phase_function_table():
+    lines = []
+    for phase in (Phase.ESTABLISHMENT, Phase.ACTIVE, Phase.CLEARING):
+        functions = ", ".join(f.value for f in PHASE_FUNCTIONS[phase])
+        lines.append(f"  {phase.value:<14} {functions}")
+    report("F3 — Figure 3: QoS management functions per phase",
+           "\n".join(lines))
+    assert QoSFunction.ADAPTATION in PHASE_FUNCTIONS[Phase.ACTIVE]
+    assert QoSFunction.TERMINATION in PHASE_FUNCTIONS[Phase.CLEARING]
+
+
+def drive_full_lifecycle(session_id: int) -> QoSSession:
+    session = QoSSession(session_id=session_id)
+    for function in PHASE_FUNCTIONS[Phase.ESTABLISHMENT]:
+        session.perform(function, time=0.0)
+    session.enter_active()
+    for function in PHASE_FUNCTIONS[Phase.ACTIVE]:
+        session.perform(function, time=1.0)
+    session.enter_clearing("completion")
+    for function in PHASE_FUNCTIONS[Phase.CLEARING]:
+        session.perform(function, time=2.0)
+    session.close()
+    return session
+
+
+def test_fig3_lifecycle_benchmark(benchmark):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return drive_full_lifecycle(counter[0])
+
+    session = benchmark(run)
+    assert session.phase is Phase.CLOSED
+    assert len(session.history) == sum(
+        len(functions) for functions in PHASE_FUNCTIONS.values())

@@ -1,0 +1,80 @@
+"""F4 — Figure 4: the adaptation interaction loop.
+
+One full turn of the Figure 4 loop: (1) negotiation & SLA
+establishment, (2) resource allocation, (3) resource monitoring,
+(4) QoS adaptation on degradation, (5) re-negotiation (restoration /
+promotion). Benchmarks the degradation→adaptation reaction specifically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import build_testbed
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import AdaptationOptions, NetworkDemand
+from repro.sla.negotiation import ServiceRequest
+
+from .conftest import report
+
+
+def elastic_request(client="viz"):
+    spec = QoSSpecification.of(
+        range_parameter(Dimension.CPU, 2, 4),
+        range_parameter(Dimension.BANDWIDTH_MBPS, 100, 400))
+    return ServiceRequest(
+        client=client, service_name="visualization-service",
+        service_class=ServiceClass.CONTROLLED_LOAD, specification=spec,
+        start=0.0, end=500.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33", 400.0),
+        adaptation=AdaptationOptions(accept_degradation=True,
+                                     accept_promotion=True))
+
+
+def run_loop():
+    testbed = build_testbed()
+    broker = testbed.broker
+    outcome = broker.request_service(elastic_request())  # phases 1+2
+    assert outcome.accepted
+    broker.conformance_test(outcome.sla.sla_id)           # phase 3
+    testbed.nrm.set_congestion("siteA", "siteB", 0.4)     # -> phase 4
+    degraded = outcome.sla.is_degraded()
+    testbed.nrm.set_congestion("siteA", "siteB", 1.0)
+    broker.scenarios.on_service_termination()             # phase 5
+    restored = not outcome.sla.is_degraded()
+    return testbed, degraded, restored
+
+
+def test_fig4_loop_behaviour():
+    testbed, degraded, restored = run_loop()
+    adaptation_rows = testbed.trace.filter(category="broker",
+                                           contains="Scenario")
+    body = "\n".join(f"  [{row.time:6.2f}] {row.message}"
+                     for row in adaptation_rows) or "  (trace empty)"
+    report("F4 — Figure 4: adaptation loop (degrade -> restore)", body)
+    assert degraded
+    assert restored
+
+
+def test_fig4_loop_benchmark(benchmark):
+    _testbed, degraded, restored = benchmark(run_loop)
+    assert degraded and restored
+
+
+def test_fig4_degradation_reaction_benchmark(benchmark):
+    """Just the Scenario 3 reaction to an NRM notice."""
+    testbed = build_testbed()
+    broker = testbed.broker
+    outcome = broker.request_service(elastic_request())
+    assert outcome.accepted
+    floor = outcome.sla.floor_point()
+    best = dict(outcome.sla.agreed_point)
+
+    def degrade_and_restore():
+        testbed.nrm.set_congestion("siteA", "siteB", 0.4)
+        testbed.nrm.set_congestion("siteA", "siteB", 1.0)
+        broker.apply_point(outcome.sla, best)
+
+    benchmark(degrade_and_restore)

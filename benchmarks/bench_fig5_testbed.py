@@ -1,0 +1,75 @@
+"""F5 — Figure 5: the test-bed architecture.
+
+Clients send XML messages to the AQoS broker over the (simulated
+SOAP/HTTP) message bus; the AQoS and UDDIe serve them. Benchmarks the
+full XML request→offer→accept round trip including the wire encoding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gateway import BrokerGateway, ClientStub
+from repro.core.testbed import build_testbed
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.negotiation import ServiceRequest
+from repro.xmlmsg.bus import MessageBus
+
+from .conftest import report
+
+
+def wired_world():
+    testbed = build_testbed()
+    bus = MessageBus(testbed.sim, trace=testbed.trace)
+    BrokerGateway(testbed.broker, bus)
+    return testbed, ClientStub("client1", bus)
+
+
+def small_request(client="client1", cpu=2):
+    spec = QoSSpecification.of(exact_parameter(Dimension.CPU, cpu))
+    return ServiceRequest(client=client,
+                          service_name="simulation-service",
+                          service_class=ServiceClass.GUARANTEED,
+                          specification=spec, start=0.0, end=50.0)
+
+
+def test_fig5_xml_flow_artifact():
+    testbed, client = wired_world()
+    negotiation_id, offers, reason = client.request_service(small_request())
+    assert reason == ""
+    sla, failure = client.accept_offer(negotiation_id)
+    assert failure == ""
+    rows = testbed.trace.filter(category="message")
+    body = "\n".join(f"  {row.message}" for row in rows)
+    report("F5 — Figure 5: XML-over-bus message flow", body)
+    assert any("service_request" in row.message for row in rows)
+    assert any("accept_offer" in row.message for row in rows)
+
+
+def test_fig5_request_offer_accept_benchmark(benchmark):
+    testbed, client = wired_world()
+    counter = [0]
+
+    def xml_round_trip():
+        counter[0] += 1
+        negotiation_id, offers, reason = client.request_service(
+            small_request(f"client-{counter[0]}"))
+        assert reason == ""
+        sla, failure = client.accept_offer(negotiation_id)
+        assert failure == ""
+        testbed.broker.terminate_session(sla.sla_id)
+        return sla
+
+    sla = benchmark(xml_round_trip)
+    assert sla is not None
+
+
+def test_fig5_verification_request_benchmark(benchmark):
+    testbed, client = wired_world()
+    negotiation_id, _offers, _ = client.request_service(small_request())
+    sla, _ = client.accept_offer(negotiation_id)
+
+    measured_id, values = benchmark(client.verify_sla, sla.sla_id)
+    assert measured_id == sla.sla_id

@@ -1,0 +1,137 @@
+"""X3 — ablation: sizing the adaptive reserve ``Ca``.
+
+"The algorithm reserves an 'adaptive capacity', based on the specified
+rate of resource failure or congestion provided by the system
+administrator" (Section 5.4). This ablation makes that sizing rule
+quantitative: with total capacity fixed at 26 nodes and the best-effort
+pool fixed at 5, the split between ``Cg`` and ``Ca`` sweeps from
+"no reserve" to "big reserve", under stochastic node failures of
+increasing intensity. Reported per point: guaranteed violation-time
+fraction and guaranteed acceptance — the provisioning trade-off the
+administrator navigates.
+
+A second ablation sweeps the protected best-effort minimum, the other
+administrator knob ("a minimum capacity for 'best effort' clients").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines import AdaptivePolicy
+from repro.experiments.harness import run_policy_workload
+from repro.experiments.reporting import format_table
+from repro.sim.random import RandomSource
+from repro.workloads.generators import (
+    WorkloadConfig,
+    arrival_rate_for_load,
+    generate_workload,
+)
+
+from .conftest import report
+
+HORIZON = 600.0
+
+
+def failure_events(mean_failures: int, magnitude: int, seed: int):
+    """Deterministic, non-overlapping failure/repair episodes.
+
+    Episodes are sequential so the failed capacity at any instant is
+    exactly ``magnitude`` — the quantity the reserve is sized against.
+    """
+    rng = RandomSource(seed)
+    events = []
+    time = 0.0
+    for _ in range(mean_failures):
+        time += rng.exponential(HORIZON / (mean_failures + 1))
+        if time >= HORIZON - 20.0:
+            break
+        duration = rng.uniform(20.0, 60.0)
+        repair_at = min(HORIZON - 1.0, time + duration)
+        events.append((time, -float(magnitude)))
+        events.append((repair_at, float(magnitude)))
+        time = repair_at  # next episode starts after this repair
+    return events
+
+
+def workload(seed: int):
+    """A guaranteed-heavy workload that keeps ``Cg`` near-fully sold,
+    so the reserve (not slack commitments) is what covers failures."""
+    config = WorkloadConfig(horizon=HORIZON, class_mix=(0.8, 0.1, 0.1),
+                            guaranteed_cpu=(3, 8))
+    rate = arrival_rate_for_load(1.6, 26.0, config)
+    return generate_workload(replace(config, arrival_rate=rate),
+                             RandomSource(seed))
+
+
+def test_x3_reserve_size_sweep():
+    shared_workload = workload(seed=77)
+    rows = []
+    results = {}
+    for magnitude in (4, 8, 12):
+        failures = failure_events(5, magnitude, seed=magnitude)
+        for ca in (0, 2, 4, 6, 8):
+            cg = 21 - ca
+            policy = AdaptivePolicy(cg, ca, 5, best_effort_min=2)
+            result = run_policy_workload(policy, shared_workload,
+                                         failures=failures)
+            results[(magnitude, ca)] = result
+            rows.append([magnitude, cg, ca,
+                         round(result.guaranteed_acceptance, 3),
+                         round(result.violation_time_fraction, 4)])
+    report("X3 — sizing the adaptive reserve (Cg + Ca = 21 fixed)",
+           format_table(["failure size", "Cg", "Ca", "acc(G)",
+                         "viol-frac"], rows))
+    for magnitude in (4, 8, 12):
+        # Violations are non-increasing in the reserve size...
+        fractions = [results[(magnitude, ca)].violation_time_fraction
+                     for ca in (0, 2, 4, 6, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        # ...and a reserve at least as large as the failure absorbs it
+        # completely (the paper's sizing rule; episodes never overlap).
+        covered = [ca for ca in (0, 2, 4, 6, 8) if ca >= magnitude]
+        for ca in covered:
+            assert results[(magnitude, ca)].violation_time_fraction == 0.0
+    # Large failures with no reserve must hurt, or the sweep proves
+    # nothing.
+    assert results[(12, 0)].violation_time_fraction > 0.0
+    # Acceptance falls as the reserve grows: the provisioning trade-off.
+    acceptance = [results[(8, ca)].guaranteed_acceptance
+                  for ca in (0, 2, 4, 6, 8)]
+    assert acceptance[0] >= acceptance[-1]
+
+
+def test_x3_best_effort_minimum_sweep():
+    shared_workload = workload(seed=78)
+    failures = failure_events(5, 8, seed=9)  # beyond the reserve
+    rows = []
+    fractions = []
+    for minimum in (0, 1, 2, 3, 4, 5):
+        policy = AdaptivePolicy(15, 6, 5, best_effort_min=minimum)
+        result = run_policy_workload(policy, shared_workload,
+                                     failures=failures)
+        fractions.append(result.violation_time_fraction)
+        rows.append([minimum,
+                     round(result.violation_time_fraction, 4),
+                     round(result.best_effort_cpu_time, 0)])
+    report("X3b — the protected best-effort minimum under 8-node failures",
+           format_table(["BE minimum", "viol-frac(G)", "BE cpu-time"],
+                        rows))
+    # Protecting more of Cb leaves less to raid: guaranteed violations
+    # are non-decreasing in the minimum.
+    assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+
+def test_x3_sweep_point_benchmark(benchmark):
+    shared_workload = workload(seed=77)
+    failures = failure_events(5, 4, seed=4)
+
+    def run_point():
+        policy = AdaptivePolicy(15, 6, 5, best_effort_min=2)
+        return run_policy_workload(policy, shared_workload,
+                                   failures=failures)
+
+    result = benchmark(run_point)
+    assert result.violation_time_fraction == 0.0

@@ -1,0 +1,66 @@
+"""T2 — Table 2: the GARA API primitives.
+
+Exercises the paper's primitive set —
+``reservation_create / bind / unbind / cancel`` (plus commit and
+modify) — and benchmarks the full reservation lifecycle against the
+slot table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gara.api import GaraApi
+from repro.gara.slot_table import SlotTable
+from repro.qos.vector import ResourceVector
+from repro.rsl.builder import reservation_rsl
+from repro.sim.engine import Simulator
+
+from .conftest import report
+
+
+def test_table2_primitives_inventory():
+    primitives = [name for name in dir(GaraApi)
+                  if name.startswith("reservation_")]
+    report("T2 — Table 2: GARA API primitives",
+           "\n".join(f"  globus_gara_{name}(...)"
+                     for name in sorted(primitives)))
+    for required in ("reservation_create", "reservation_bind",
+                     "reservation_unbind", "reservation_cancel"):
+        assert required in primitives
+
+
+def test_table2_lifecycle_benchmark(benchmark):
+    sim = Simulator()
+    gara = GaraApi(sim, SlotTable(ResourceVector(cpu=1000)),
+                   confirm_timeout=1e9)
+    rsl = reservation_rsl(ResourceVector(cpu=4), 0.0, 1e8)
+
+    def lifecycle():
+        handle = gara.reservation_create(rsl)
+        gara.reservation_commit(handle)
+        gara.reservation_bind(handle, pid=1234)
+        gara.reservation_unbind(handle)
+        gara.reservation_cancel(handle)
+        return handle
+
+    handle = benchmark(lifecycle)
+    assert not gara.reservation_status(handle).state.is_live
+
+
+def test_table2_create_under_load_benchmark(benchmark):
+    """Creation cost with many live bookings in the table."""
+    sim = Simulator()
+    gara = GaraApi(sim, SlotTable(ResourceVector(cpu=100_000)),
+                   confirm_timeout=1e9)
+    for index in range(200):
+        gara.reservation_create(
+            reservation_rsl(ResourceVector(cpu=2),
+                            float(index), float(index + 50)))
+    rsl = reservation_rsl(ResourceVector(cpu=2), 10.0, 60.0)
+
+    def create_and_cancel():
+        handle = gara.reservation_create(rsl)
+        gara.reservation_cancel(handle)
+
+    benchmark(create_and_cancel)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Scenario 3 in action: QoS degradation and adaptation.
+
+A controlled-load visualization session shares a link with a
+guaranteed data feed. Link congestion strikes; the NRM notifies
+SLA-Verif, the broker's Scenario 3 handler degrades the elastic
+session to its pre-agreed lower quality, and when the congestion
+clears, a completed session triggers Scenario 2 restoration.
+
+Run with::
+
+    python examples/adaptive_degradation.py
+"""
+
+from __future__ import annotations
+
+from repro.core.testbed import build_testbed
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import AdaptationOptions, NetworkDemand
+from repro.sla.negotiation import ServiceRequest
+
+
+def main() -> None:
+    testbed = build_testbed()
+    broker = testbed.broker
+    sim = testbed.sim
+
+    # An elastic (controlled-load) visualization stream: anywhere
+    # between 100 and 400 Mbps is acceptable.
+    elastic = broker.request_service(ServiceRequest(
+        client="viz-team", service_name="visualization-service",
+        service_class=ServiceClass.CONTROLLED_LOAD,
+        specification=QoSSpecification.of(
+            range_parameter(Dimension.CPU, 2, 4),
+            range_parameter(Dimension.BANDWIDTH_MBPS, 100, 400)),
+        start=0.0, end=300.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33", 400.0),
+        adaptation=AdaptationOptions(accept_degradation=True,
+                                     accept_promotion=True)))
+    assert elastic.accepted, elastic.reason
+
+    # A short guaranteed transfer on the same link.
+    rigid = broker.request_service(ServiceRequest(
+        client="data-team", service_name="data-transfer-service",
+        service_class=ServiceClass.GUARANTEED,
+        specification=QoSSpecification.of(
+            exact_parameter(Dimension.BANDWIDTH_MBPS, 200)),
+        start=0.0, end=100.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33", 200.0)))
+    assert rigid.accepted, rigid.reason
+
+    def show(label: str) -> None:
+        sla = elastic.sla
+        print(f"[t={sim.now:6.1f}] {label}")
+        print(f"           elastic delivered point: "
+              f"{ {d.value: v for d, v in sla.delivered_point.items()} }"
+              f" (rate {broker.ledger.account(sla.sla_id).current_rate:g})")
+
+    show("both sessions established")
+
+    # --- congestion strikes -------------------------------------------
+    sim.run(until=50.0)
+    print(f"\n[t={sim.now:6.1f}] !! link siteA-siteB congested to 40%")
+    testbed.nrm.set_congestion("siteA", "siteB", 0.4)
+    show("after the NRM degradation notice (Scenario 3)")
+    assert elastic.sla.is_degraded()
+
+    # --- congestion clears; the rigid session completes at t=100 ------
+    sim.run(until=90.0)
+    print(f"\n[t={sim.now:6.1f}] congestion cleared")
+    testbed.nrm.set_congestion("siteA", "siteB", 1.0)
+    sim.run(until=110.0)
+    show("after the guaranteed transfer completed (Scenario 2 restore)")
+    assert not elastic.sla.is_degraded()
+
+    sim.run(until=320.0)
+    print("\nFinal accounting (per-session invoices):")
+    from repro.core.accounting import render_invoice
+    for account in broker.ledger.accounts():
+        sla = broker.repository.get(account.sla_id)
+        print()
+        print(render_invoice(account, now=sim.now, client=sla.client,
+                             service=sla.service_name))
+    print(f"\nprovider net revenue: "
+          f"{broker.ledger.provider_net(sim.now):.1f}")
+    print(f"Scenario statistics: {broker.scenarios.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Baseline allocation policies for the comparative evaluation.
+
+The paper argues its dynamic partition beats static provisioning
+("resources are never under-utilized due to the dynamic property of
+the algorithm") but publishes no comparison; these baselines make that
+comparison runnable:
+
+* :mod:`repro.baselines.static` — the same ``Cg``/``Cb`` split with
+  **no** adaptive reserve and **no** borrowing.
+* :mod:`repro.baselines.fcfs` — one undifferentiated pool, first come
+  first served, no classes and no guarantees.
+* :mod:`repro.baselines.proportional` — one pool, proportional
+  fair-share under overload.
+
+All policies (including the paper's, via
+:class:`~repro.baselines.base.AdaptivePolicy`) implement the
+:class:`~repro.baselines.base.AllocatorPolicy` interface so the
+experiment harness can swap them freely.
+"""
+
+from .base import AdaptivePolicy, AllocatorPolicy, PolicyReport
+from .fcfs import FcfsPolicy
+from .proportional import ProportionalSharePolicy
+from .static import StaticPartitionPolicy
+
+__all__ = [
+    "AdaptivePolicy",
+    "AllocatorPolicy",
+    "FcfsPolicy",
+    "PolicyReport",
+    "ProportionalSharePolicy",
+    "StaticPartitionPolicy",
+]

@@ -1,0 +1,142 @@
+"""The common allocator-policy interface and the paper's policy.
+
+An :class:`AllocatorPolicy` answers the questions the synthetic
+experiments ask: admit a guaranteed commitment, move demands, absorb
+failures, and report who is served from where. The paper's scheme is
+adapted to the interface by :class:`AdaptivePolicy` (a thin wrapper
+over :class:`~repro.core.capacity.CapacityPartition`), so every
+benchmark compares like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.capacity import CapacityPartition
+
+
+@dataclass(frozen=True)
+class PolicyReport:
+    """Outcome of one policy mutation.
+
+    Attributes:
+        shortfalls: ``user -> entitled-but-unserved capacity`` for
+            guaranteed users (an SLA violation while non-empty).
+        best_effort_served: Total best-effort capacity served.
+    """
+
+    shortfalls: "Dict[str, float]"
+    best_effort_served: float
+
+    @property
+    def guarantees_honored(self) -> bool:
+        return not self.shortfalls
+
+
+class AllocatorPolicy:
+    """Interface every allocation policy implements."""
+
+    #: Short name used in benchmark tables.
+    name: str = "abstract"
+
+    def admit_guaranteed(self, user: str, committed: float) -> bool:
+        """Try to admit a guaranteed commitment; ``False`` = refused."""
+        raise NotImplementedError
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> PolicyReport:
+        """Update an admitted user's demand."""
+        raise NotImplementedError
+
+    def remove_guaranteed(self, user: str) -> PolicyReport:
+        """Release an admitted user."""
+        raise NotImplementedError
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> PolicyReport:
+        """Update a best-effort user's demand (0 removes)."""
+        raise NotImplementedError
+
+    def apply_failure(self, amount: float) -> PolicyReport:
+        """Lose capacity to failures."""
+        raise NotImplementedError
+
+    def apply_repair(self, amount: Optional[float] = None) -> PolicyReport:
+        """Recover failed capacity."""
+        raise NotImplementedError
+
+    def served(self, user: str) -> float:
+        """Capacity currently served to a user (0 if unknown)."""
+        raise NotImplementedError
+
+    def utilization(self) -> float:
+        """Fraction of effective capacity in use."""
+        raise NotImplementedError
+
+    def total_capacity(self) -> float:
+        """Nominal capacity."""
+        raise NotImplementedError
+
+
+class AdaptivePolicy(AllocatorPolicy):
+    """The paper's Algorithm 1, behind the common interface."""
+
+    name = "adaptive"
+
+    def __init__(self, guaranteed: float, adaptive: float,
+                 best_effort: float, *, best_effort_min: float = 0.0) -> None:
+        self.partition = CapacityPartition(
+            guaranteed, adaptive, best_effort,
+            best_effort_min=best_effort_min)
+
+    def _report(self) -> PolicyReport:
+        report = self.partition.last_report
+        assert report is not None
+        return PolicyReport(shortfalls=dict(report.shortfalls),
+                            best_effort_served=self.partition
+                            .best_effort_served())
+
+    def admit_guaranteed(self, user: str, committed: float) -> bool:
+        if not self.partition.available_guaranteed_resource(committed):
+            return False
+        self.partition.admit_guaranteed(user, committed)
+        return True
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> PolicyReport:
+        self.partition.set_guaranteed_demand(user, demand)
+        return self._report()
+
+    def remove_guaranteed(self, user: str) -> PolicyReport:
+        self.partition.remove_guaranteed(user)
+        return self._report()
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> PolicyReport:
+        self.partition.set_best_effort_demand(user, demand)
+        return self._report()
+
+    def apply_failure(self, amount: float) -> PolicyReport:
+        self.partition.apply_failure(amount)
+        return self._report()
+
+    def apply_repair(self, amount: Optional[float] = None) -> PolicyReport:
+        self.partition.apply_repair(amount)
+        return self._report()
+
+    def served(self, user: str) -> float:
+        try:
+            return self.partition.guaranteed_holding(user).served
+        except Exception:
+            pass
+        try:
+            return self.partition.best_effort_holding(user).served
+        except Exception:
+            return 0.0
+
+    def utilization(self) -> float:
+        return self.partition.utilization()
+
+    def total_capacity(self) -> float:
+        return self.partition.total

@@ -1,0 +1,118 @@
+"""FCFS: one undifferentiated pool, no classes, no guarantees.
+
+Every request — "guaranteed" or best-effort alike — draws from a single
+pool in arrival order. Admission always succeeds (there is nothing to
+commit against); service is whatever is left when your turn comes.
+Under failures, the most recent arrivals are squeezed first. This is
+the classless Grid scheduler the paper's class model improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import AdmissionError
+from .base import AllocatorPolicy, PolicyReport
+
+_EPSILON = 1e-9
+
+
+class FcfsPolicy(AllocatorPolicy):
+    """Single-pool first-come-first-served allocation."""
+
+    name = "fcfs"
+
+    def __init__(self, guaranteed: float, adaptive: float,
+                 best_effort: float, *, best_effort_min: float = 0.0) -> None:
+        self.capacity = guaranteed + adaptive + best_effort
+        self._failed = 0.0
+        self._arrival = 0
+        #: user -> (arrival order, demand, is_guaranteed)
+        self._demands: Dict[str, Tuple[int, float, bool]] = {}
+        self._committed: Dict[str, float] = {}
+        self._served: Dict[str, float] = {}
+
+    def _effective(self) -> float:
+        return max(0.0, self.capacity - self._failed)
+
+    def _rebalance(self) -> PolicyReport:
+        remaining = self._effective()
+        shortfalls: Dict[str, float] = {}
+        best_effort_served = 0.0
+        ordered = sorted(self._demands.items(), key=lambda kv: kv[1][0])
+        for user, (_order, demand, is_guaranteed) in ordered:
+            served = min(demand, remaining)
+            remaining -= served
+            self._served[user] = served
+            if is_guaranteed:
+                entitled = min(demand, self._committed.get(user, demand))
+                if entitled - served > _EPSILON:
+                    shortfalls[user] = entitled - served
+            else:
+                best_effort_served += served
+        return PolicyReport(shortfalls=shortfalls,
+                            best_effort_served=best_effort_served)
+
+    # ------------------------------------------------------------------
+
+    def admit_guaranteed(self, user: str, committed: float) -> bool:
+        if user in self._committed:
+            raise AdmissionError(f"user {user!r} already admitted")
+        # FCFS has no admission control: everyone is let in and takes
+        # their chances.
+        self._committed[user] = committed
+        self._arrival += 1
+        self._demands[user] = (self._arrival, 0.0, True)
+        return True
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        order, _old, _g = self._demands[user]
+        self._demands[user] = (order, demand, True)
+        return self._rebalance()
+
+    def remove_guaranteed(self, user: str) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        del self._committed[user]
+        del self._demands[user]
+        self._served.pop(user, None)
+        return self._rebalance()
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> PolicyReport:
+        if demand <= 0:
+            self._demands.pop(user, None)
+            self._served.pop(user, None)
+        elif user in self._demands:
+            order, _old, is_g = self._demands[user]
+            self._demands[user] = (order, demand, is_g)
+        else:
+            self._arrival += 1
+            self._demands[user] = (self._arrival, demand, False)
+        return self._rebalance()
+
+    def apply_failure(self, amount: float) -> PolicyReport:
+        self._failed = min(self.capacity, self._failed + amount)
+        return self._rebalance()
+
+    def apply_repair(self, amount: Optional[float] = None) -> PolicyReport:
+        if amount is None:
+            self._failed = 0.0
+        else:
+            self._failed = max(0.0, self._failed - amount)
+        return self._rebalance()
+
+    def served(self, user: str) -> float:
+        return self._served.get(user, 0.0)
+
+    def utilization(self) -> float:
+        effective = self._effective()
+        if effective <= 0:
+            return 0.0
+        return min(1.0, sum(self._served.values()) / effective)
+
+    def total_capacity(self) -> float:
+        return self.capacity

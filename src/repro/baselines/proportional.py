@@ -1,0 +1,110 @@
+"""Proportional share: one pool, fair-share under overload.
+
+Every demand — guaranteed or best-effort — receives
+``demand * min(1, capacity / total_demand)``. Nobody is protected, so
+guaranteed users degrade with the crowd; nobody starves either, so
+best-effort throughput is better than the static split at low load.
+This is the "fair scheduler" point in the design space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import AdmissionError
+from .base import AllocatorPolicy, PolicyReport
+
+_EPSILON = 1e-9
+
+
+class ProportionalSharePolicy(AllocatorPolicy):
+    """Single-pool proportional fair-share allocation."""
+
+    name = "proportional"
+
+    def __init__(self, guaranteed: float, adaptive: float,
+                 best_effort: float, *, best_effort_min: float = 0.0) -> None:
+        self.capacity = guaranteed + adaptive + best_effort
+        self._failed = 0.0
+        #: user -> (demand, is_guaranteed)
+        self._demands: Dict[str, Tuple[float, bool]] = {}
+        self._committed: Dict[str, float] = {}
+        self._served: Dict[str, float] = {}
+
+    def _effective(self) -> float:
+        return max(0.0, self.capacity - self._failed)
+
+    def _rebalance(self) -> PolicyReport:
+        total = sum(demand for demand, _g in self._demands.values())
+        effective = self._effective()
+        scale = 1.0 if total <= effective else (
+            effective / total if total > 0 else 1.0)
+        shortfalls: Dict[str, float] = {}
+        best_effort_served = 0.0
+        for user, (demand, is_guaranteed) in self._demands.items():
+            served = demand * scale
+            self._served[user] = served
+            if is_guaranteed:
+                entitled = min(demand, self._committed.get(user, demand))
+                if entitled - served > _EPSILON:
+                    shortfalls[user] = entitled - served
+            else:
+                best_effort_served += served
+        return PolicyReport(shortfalls=shortfalls,
+                            best_effort_served=best_effort_served)
+
+    # ------------------------------------------------------------------
+
+    def admit_guaranteed(self, user: str, committed: float) -> bool:
+        if user in self._committed:
+            raise AdmissionError(f"user {user!r} already admitted")
+        self._committed[user] = committed
+        self._demands[user] = (0.0, True)
+        return True
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        self._demands[user] = (demand, True)
+        return self._rebalance()
+
+    def remove_guaranteed(self, user: str) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        del self._committed[user]
+        del self._demands[user]
+        self._served.pop(user, None)
+        return self._rebalance()
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> PolicyReport:
+        if demand <= 0:
+            self._demands.pop(user, None)
+            self._served.pop(user, None)
+        else:
+            self._demands[user] = (demand, False)
+        return self._rebalance()
+
+    def apply_failure(self, amount: float) -> PolicyReport:
+        self._failed = min(self.capacity, self._failed + amount)
+        return self._rebalance()
+
+    def apply_repair(self, amount: Optional[float] = None) -> PolicyReport:
+        if amount is None:
+            self._failed = 0.0
+        else:
+            self._failed = max(0.0, self._failed - amount)
+        return self._rebalance()
+
+    def served(self, user: str) -> float:
+        return self._served.get(user, 0.0)
+
+    def utilization(self) -> float:
+        effective = self._effective()
+        if effective <= 0:
+            return 0.0
+        return min(1.0, sum(self._served.values()) / effective)
+
+    def total_capacity(self) -> float:
+        return self.capacity

@@ -1,0 +1,126 @@
+"""Static partitioning: the no-adaptation baseline.
+
+The same administrator split as the paper's scheme, but *rigid*: the
+guaranteed pool serves only guaranteed users, the best-effort pool only
+best-effort users, the adaptive reserve does not exist (its capacity is
+folded into the guaranteed pool so totals stay comparable — set
+``fold_adaptive=False`` to waste it instead), and nobody borrows idle
+capacity. Failures shrink the guaranteed pool directly, with no
+compensation — exactly the behaviour the paper's adaptive reserve is
+designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import AdmissionError
+from .base import AllocatorPolicy, PolicyReport
+
+_EPSILON = 1e-9
+
+
+class StaticPartitionPolicy(AllocatorPolicy):
+    """Rigid two-pool allocation without borrowing."""
+
+    name = "static"
+
+    def __init__(self, guaranteed: float, adaptive: float,
+                 best_effort: float, *, fold_adaptive: bool = True,
+                 best_effort_min: float = 0.0) -> None:
+        # ``best_effort_min`` is accepted for signature parity; a rigid
+        # split protects the whole best-effort pool anyway.
+        self.cg = guaranteed + (adaptive if fold_adaptive else 0.0)
+        self.cb = best_effort
+        self._wasted = 0.0 if fold_adaptive else adaptive
+        self._failed = 0.0
+        self._committed: Dict[str, float] = {}
+        self._g_demand: Dict[str, float] = {}
+        self._b_demand: Dict[str, float] = {}
+        self._g_served: Dict[str, float] = {}
+        self._b_served: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _effective_cg(self) -> float:
+        return max(0.0, self.cg - self._failed)
+
+    def _rebalance(self) -> PolicyReport:
+        # Guaranteed pool: entitled demand, FCFS by user key for
+        # determinism; no borrowing anywhere.
+        remaining = self._effective_cg()
+        shortfalls: Dict[str, float] = {}
+        for user in sorted(self._g_demand):
+            entitled = min(self._g_demand[user],
+                           self._committed.get(user, 0.0))
+            served = min(entitled, remaining)
+            remaining -= served
+            self._g_served[user] = served
+            if entitled - served > _EPSILON:
+                shortfalls[user] = entitled - served
+        remaining_b = self.cb
+        for user in sorted(self._b_demand):
+            served = min(self._b_demand[user], remaining_b)
+            remaining_b -= served
+            self._b_served[user] = served
+        return PolicyReport(shortfalls=shortfalls,
+                            best_effort_served=sum(self._b_served.values()))
+
+    # ------------------------------------------------------------------
+
+    def admit_guaranteed(self, user: str, committed: float) -> bool:
+        if user in self._committed:
+            raise AdmissionError(f"user {user!r} already admitted")
+        if sum(self._committed.values()) + committed > self.cg + _EPSILON:
+            return False
+        self._committed[user] = committed
+        self._g_demand[user] = 0.0
+        return True
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        self._g_demand[user] = demand
+        return self._rebalance()
+
+    def remove_guaranteed(self, user: str) -> PolicyReport:
+        if user not in self._committed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        del self._committed[user]
+        del self._g_demand[user]
+        self._g_served.pop(user, None)
+        return self._rebalance()
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> PolicyReport:
+        if demand <= 0:
+            self._b_demand.pop(user, None)
+            self._b_served.pop(user, None)
+        else:
+            self._b_demand[user] = demand
+        return self._rebalance()
+
+    def apply_failure(self, amount: float) -> PolicyReport:
+        self._failed = min(self.cg + self.cb, self._failed + amount)
+        return self._rebalance()
+
+    def apply_repair(self, amount: Optional[float] = None) -> PolicyReport:
+        if amount is None:
+            self._failed = 0.0
+        else:
+            self._failed = max(0.0, self._failed - amount)
+        return self._rebalance()
+
+    def served(self, user: str) -> float:
+        return self._g_served.get(user, self._b_served.get(user, 0.0))
+
+    def utilization(self) -> float:
+        effective = self._effective_cg() + self.cb + self._wasted
+        if effective <= 0:
+            return 0.0
+        used = sum(self._g_served.values()) + sum(self._b_served.values())
+        return min(1.0, used / effective)
+
+    def total_capacity(self) -> float:
+        return self.cg + self.cb + self._wasted

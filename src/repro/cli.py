@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — one full QoS session; prints the Table 1 / Table 3
+  XML and the broker activity log.
+* ``example56`` — replay the Section 5.6 worked example and print the
+  timeline table.
+* ``sweep`` — run the X1 adaptation-vs-baselines load sweep and print
+  the comparison table.
+* ``reserve`` — run the X3 reserve-sizing ablation table.
+
+All commands are deterministic; ``--seed`` perturbs the stochastic
+ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .baselines import (
+    AdaptivePolicy,
+    FcfsPolicy,
+    ProportionalSharePolicy,
+    StaticPartitionPolicy,
+)
+from .experiments.example56 import format_example56, run_example56
+from .experiments.harness import run_policy_workload
+from .experiments.reporting import format_table
+from .sim.random import RandomSource
+from .workloads.generators import (
+    WorkloadConfig,
+    arrival_rate_for_load,
+    generate_workload,
+)
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+    # The quickstart example is the canonical walkthrough; reuse it.
+    candidates = [
+        pathlib.Path(__file__).resolve().parents[2] / "examples"
+        / "quickstart.py",
+        pathlib.Path.cwd() / "examples" / "quickstart.py",
+    ]
+    for path in candidates:
+        if path.exists():
+            spec = importlib.util.spec_from_file_location("quickstart",
+                                                          path)
+            module = importlib.util.module_from_spec(spec)
+            assert spec.loader is not None
+            spec.loader.exec_module(module)
+            module.main()
+            return 0
+    print("examples/quickstart.py not found; run from the repository "
+          "root", file=sys.stderr)
+    return 1
+
+
+def _cmd_example56(_args: argparse.Namespace) -> int:
+    result = run_example56()
+    print("Section 5.6 worked example — replayed timeline")
+    print(format_example56(result))
+    print()
+    print(f"guarantees always honored: {result.guarantees_always_honored}")
+    print(f"resources never under-utilized: {result.never_underutilized}")
+    return 0
+
+
+_POLICIES = {
+    "adaptive": AdaptivePolicy,
+    "static": StaticPartitionPolicy,
+    "fcfs": FcfsPolicy,
+    "proportional": ProportionalSharePolicy,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(horizon=args.horizon)
+    failures = [(args.horizon * 0.2, -4.0), (args.horizon * 0.4, 4.0),
+                (args.horizon * 0.6, -4.0), (args.horizon * 0.8, 4.0)]
+    rows = []
+    for load in args.loads:
+        rate = arrival_rate_for_load(load, 26.0, config)
+        workload = generate_workload(replace(config, arrival_rate=rate),
+                                     RandomSource(args.seed))
+        for name, policy_class in _POLICIES.items():
+            policy = policy_class(15, 6, 5, best_effort_min=2)
+            result = run_policy_workload(policy, workload,
+                                         failures=failures)
+            rows.append([load, name,
+                         round(result.guaranteed_acceptance, 3),
+                         round(result.violation_time_fraction, 3),
+                         round(result.mean_utilization, 3),
+                         round(result.best_effort_cpu_time, 0),
+                         round(result.revenue, 0)])
+    print(format_table(["load", "policy", "acc(G)", "viol-frac", "util",
+                        "BE cpu-time", "revenue"],
+                       rows,
+                       title="X1 — adaptation vs baselines "
+                             "(4-node failures injected)"))
+    return 0
+
+
+def _cmd_reserve(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(horizon=args.horizon,
+                            class_mix=(0.8, 0.1, 0.1),
+                            guaranteed_cpu=(3, 8))
+    rate = arrival_rate_for_load(1.6, 26.0, config)
+    workload = generate_workload(replace(config, arrival_rate=rate),
+                                 RandomSource(args.seed))
+    rows = []
+    for magnitude in (4, 8, 12):
+        rng = RandomSource(magnitude)
+        events = []
+        time = 0.0
+        for _ in range(5):
+            time += rng.exponential(args.horizon / 6)
+            if time >= args.horizon - 20:
+                break
+            repair = min(args.horizon - 1, time + rng.uniform(20, 60))
+            events.append((time, -float(magnitude)))
+            events.append((repair, float(magnitude)))
+            time = repair
+        for ca in (0, 2, 4, 6, 8):
+            policy = AdaptivePolicy(21 - ca, ca, 5, best_effort_min=2)
+            result = run_policy_workload(policy, workload,
+                                         failures=events)
+            rows.append([magnitude, 21 - ca, ca,
+                         round(result.guaranteed_acceptance, 3),
+                         round(result.violation_time_fraction, 4)])
+    print(format_table(["failure size", "Cg", "Ca", "acc(G)",
+                        "viol-frac"],
+                       rows,
+                       title="X3 — sizing the adaptive reserve "
+                             "(Cg + Ca = 21)"))
+    return 0
+
+
+def _cmd_diagram(_args: argparse.Namespace) -> int:
+    from .core.testbed import build_testbed
+    from .experiments.sequence import figure2_diagram
+    from .qos.classes import ServiceClass
+    from .qos.parameters import Dimension, exact_parameter
+    from .qos.specification import QoSSpecification
+    from .sla.document import NetworkDemand
+    from .sla.negotiation import ServiceRequest
+
+    testbed = build_testbed()
+    spec = QoSSpecification.of(
+        exact_parameter(Dimension.CPU, 10),
+        exact_parameter(Dimension.MEMORY_MB, 2048))
+    outcome = testbed.broker.request_service(ServiceRequest(
+        client="scientists", service_name="simulation-service",
+        service_class=ServiceClass.GUARANTEED, specification=spec,
+        start=0.0, end=100.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33",
+                              100.0)))
+    assert outcome.accepted, outcome.reason
+    testbed.broker.conformance_test(outcome.sla.sla_id)
+    testbed.sim.run(until=120.0)
+    print("Figure 2 — component interaction sequence "
+          "(one full session):\n")
+    print(figure2_diagram(testbed.trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="G-QoSM reproduction: demos and experiments")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "quickstart", help="run one full QoS session end to end")
+    subparsers.add_parser(
+        "example56", help="replay the Section 5.6 worked example")
+    subparsers.add_parser(
+        "diagram", help="print the Figure 2 sequence diagram")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="adaptation vs baselines load sweep (X1)")
+    sweep.add_argument("--loads", type=float, nargs="+",
+                       default=[0.4, 0.8, 1.2])
+    sweep.add_argument("--horizon", type=float, default=600.0)
+    sweep.add_argument("--seed", type=int, default=99)
+
+    reserve = subparsers.add_parser(
+        "reserve", help="adaptive-reserve sizing ablation (X3)")
+    reserve.add_argument("--horizon", type=float, default=600.0)
+    reserve.add_argument("--seed", type=int, default=77)
+    return parser
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "example56": _cmd_example56,
+    "diagram": _cmd_diagram,
+    "sweep": _cmd_sweep,
+    "reserve": _cmd_reserve,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

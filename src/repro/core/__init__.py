@@ -1,0 +1,53 @@
+"""The paper's contribution: the QoS adaptation scheme.
+
+* :mod:`repro.core.capacity` — the capacity partition
+  ``C = Cg + Ca + Cb`` with dynamic borrowing (Section 5.4).
+* :mod:`repro.core.adaptation` — Algorithm 1's entry points over the
+  partition, under the paper's own function names.
+* :mod:`repro.core.optimizer` — the revenue-optimization heuristic of
+  Section 5.3, plus an exact reference solver.
+* :mod:`repro.core.scenarios` — the three adaptation scenarios of
+  Section 4.
+* :mod:`repro.core.reservation_system` — the Reservation System (RS)
+  inside the AQoS (Section 3.1).
+* :mod:`repro.core.allocation` — the Allocation manager (Alloc-M).
+* :mod:`repro.core.accounting` — revenue, penalties, promotions.
+* :mod:`repro.core.broker` — the AQoS broker orchestrating everything.
+* :mod:`repro.core.testbed` — wiring helpers reproducing the Figure 5
+  testbed and the Figure 1 multi-domain architecture.
+"""
+
+from .accounting import AccountingLedger
+from .adaptation import AdaptationEngine
+from .allocation import AllocationManager
+from .broker import AQoSBroker, ServiceOutcome
+from .capacity import CapacityPartition, GuaranteedHolding, RebalanceReport
+from .optimizer import (
+    OptimizationResult,
+    QualityCandidate,
+    exact_optimize,
+    greedy_optimize,
+)
+from .reservation_system import CompositeReservation, ReservationSystem
+from .scenarios import ScenarioEngine
+from .testbed import Testbed, build_testbed
+
+__all__ = [
+    "AQoSBroker",
+    "AccountingLedger",
+    "AdaptationEngine",
+    "AllocationManager",
+    "CapacityPartition",
+    "CompositeReservation",
+    "GuaranteedHolding",
+    "OptimizationResult",
+    "QualityCandidate",
+    "RebalanceReport",
+    "ReservationSystem",
+    "ScenarioEngine",
+    "ServiceOutcome",
+    "Testbed",
+    "build_testbed",
+    "exact_optimize",
+    "greedy_optimize",
+]

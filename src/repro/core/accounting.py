@@ -1,0 +1,171 @@
+"""QoS accounting (Figure 3's Active- and Clearing-phase function).
+
+The ledger integrates each session's price rate over time — rates
+change when adaptation or the optimizer moves the delivered operating
+point — subtracts SLA-violation penalties, and records promotion
+offers, so the provider-revenue benchmarks ("increase the profits of
+the service provider", Scenario 2) have an auditable money trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SessionAccount:
+    """The money trail of one session.
+
+    Attributes:
+        sla_id: The session's SLA.
+        segments: Closed ``(start, end, rate)`` spans.
+        open_since: Start of the currently accruing span.
+        current_rate: Rate of the currently accruing span.
+        penalties: ``(time, amount, reason)`` deductions.
+        promotions_offered / promotions_accepted: Promotion counters.
+        closed: Whether the session has ended.
+    """
+
+    sla_id: int
+    segments: "List[Tuple[float, float, float]]" = field(default_factory=list)
+    open_since: Optional[float] = None
+    current_rate: float = 0.0
+    penalties: "List[Tuple[float, float, str]]" = field(default_factory=list)
+    promotions_offered: int = 0
+    promotions_accepted: int = 0
+    closed: bool = False
+
+    def gross_revenue(self, now: Optional[float] = None) -> float:
+        """Rate integrated over all spans (open span up to ``now``)."""
+        total = sum((end - start) * rate
+                    for start, end, rate in self.segments)
+        if self.open_since is not None and now is not None:
+            total += max(0.0, now - self.open_since) * self.current_rate
+        return total
+
+    def total_penalties(self) -> float:
+        """Sum of all penalty deductions."""
+        return sum(amount for _time, amount, _reason in self.penalties)
+
+    def net_revenue(self, now: Optional[float] = None) -> float:
+        """Gross revenue minus penalties."""
+        return self.gross_revenue(now) - self.total_penalties()
+
+
+class AccountingLedger:
+    """Provider-side ledger across all sessions."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[int, SessionAccount] = {}
+
+    def account(self, sla_id: int) -> SessionAccount:
+        """The account for an SLA (created on first touch)."""
+        if sla_id not in self._accounts:
+            self._accounts[sla_id] = SessionAccount(sla_id=sla_id)
+        return self._accounts[sla_id]
+
+    def session_started(self, sla_id: int, time: float,
+                        rate: float) -> None:
+        """Begin accruing revenue for a session."""
+        account = self.account(sla_id)
+        account.open_since = time
+        account.current_rate = rate
+        account.closed = False
+
+    def rate_changed(self, sla_id: int, time: float, rate: float) -> None:
+        """Close the current span and continue at a new rate.
+
+        Called whenever adaptation or the optimizer moves a session's
+        delivered operating point (and therefore its price).
+        """
+        account = self.account(sla_id)
+        if account.open_since is not None:
+            account.segments.append(
+                (account.open_since, time, account.current_rate))
+        account.open_since = time
+        account.current_rate = rate
+
+    def add_penalty(self, sla_id: int, time: float, amount: float,
+                    reason: str) -> None:
+        """Record an SLA-violation penalty."""
+        if amount <= 0:
+            return
+        self.account(sla_id).penalties.append((time, amount, reason))
+
+    def promotion_offered(self, sla_id: int,
+                          accepted: bool = False) -> None:
+        """Record a Scenario 2 promotion offer (and its outcome)."""
+        account = self.account(sla_id)
+        account.promotions_offered += 1
+        if accepted:
+            account.promotions_accepted += 1
+
+    def session_ended(self, sla_id: int, time: float) -> None:
+        """Stop accruing revenue for a session."""
+        account = self.account(sla_id)
+        if account.open_since is not None:
+            account.segments.append(
+                (account.open_since, time, account.current_rate))
+            account.open_since = None
+        account.closed = True
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def accounts(self) -> List[SessionAccount]:
+        """All accounts, by SLA id."""
+        return [self._accounts[sla_id] for sla_id in sorted(self._accounts)]
+
+    def provider_gross(self, now: Optional[float] = None) -> float:
+        """Total gross revenue across sessions."""
+        return sum(account.gross_revenue(now) for account in self.accounts())
+
+    def provider_net(self, now: Optional[float] = None) -> float:
+        """Total net revenue (gross minus penalties)."""
+        return sum(account.net_revenue(now) for account in self.accounts())
+
+    def total_penalties(self) -> float:
+        """Total penalties across sessions."""
+        return sum(account.total_penalties() for account in self.accounts())
+
+
+def render_invoice(account: SessionAccount, *,
+                   now: Optional[float] = None,
+                   client: str = "", service: str = "") -> str:
+    """Render one session's money trail as a plain-text invoice.
+
+    The Clearing phase "settles accounting"; this is the artifact a
+    provider would hand the client: per-rate billing spans, penalty
+    deductions, promotion history and the net total.
+    """
+    lines = [f"Invoice — SLA {account.sla_id}"]
+    if client:
+        lines.append(f"Client:  {client}")
+    if service:
+        lines.append(f"Service: {service}")
+    lines.append("-" * 44)
+    spans = list(account.segments)
+    if account.open_since is not None and now is not None:
+        spans.append((account.open_since, now, account.current_rate))
+    for start, end, rate in spans:
+        amount = (end - start) * rate
+        lines.append(f"  [{start:10.2f} .. {end:10.2f}] "
+                     f"@ {rate:8.3f}  = {amount:10.2f}")
+    lines.append(f"  gross revenue{'':>21}{account.gross_revenue(now):10.2f}")
+    for time, amount, reason in account.penalties:
+        label = reason if len(reason) <= 24 else reason[:21] + "..."
+        lines.append(f"  penalty at {time:10.2f} ({label})"
+                     f"  -{amount:.2f}")
+    if account.penalties:
+        lines.append(f"  total penalties{'':>19}"
+                     f"{-account.total_penalties():10.2f}")
+    if account.promotions_offered:
+        lines.append(f"  promotions: {account.promotions_offered} "
+                     f"offered, {account.promotions_accepted} accepted")
+    lines.append("-" * 44)
+    lines.append(f"  NET DUE{'':>27}{account.net_revenue(now):10.2f}")
+    if account.closed:
+        lines.append("  (session closed)")
+    return "\n".join(lines)

@@ -1,0 +1,448 @@
+"""The capacity partition ``C = Cg + Ca + Cb`` (Section 5.4).
+
+The system administrator splits the total resource capacity into a
+guaranteed pool ``Cg``, an adaptive reserve ``Ca`` "based on the
+specified rate of resource failure or congestion", and a best-effort
+pool ``Cb`` with a protected minimum. The partition is *dynamic*:
+
+* best-effort work borrows whatever is idle in ``Cg`` and ``Ca``
+  ("the extra reserved capacity is used by 'best effort' users as long
+  as it is not needed by 'guaranteed' users") — borrowed capacity is
+  pre-emptible;
+* when failures shrink the pools or guaranteed demand spikes,
+  ``Adapt()`` covers the guaranteed shortfall from ``Ca`` and then from
+  ``Cb`` down to the best-effort minimum.
+
+The partition is deliberately *scalar* — it accounts capacity units of
+one resource type (CPU nodes in the paper's example; the broker runs
+one partition per managed resource type). All mutation funnels through
+:meth:`CapacityPartition.rebalance`, a deterministic two-tier
+water-fill, so the allocation state is always a pure function of
+(demands, commitments, failures) — which is what makes the Section 5.6
+timeline exactly replayable.
+
+Priority tiers inside ``rebalance``:
+
+1. **Entitled guaranteed demand** ``min(c(u,t), g(u))`` — must be
+   served: from effective ``Cg``, then ``Ca``, then ``Cb`` down to the
+   best-effort minimum (that transfer is the paper's ``Adapt()``).
+   Anything still unserved is a recorded *shortfall* (an SLA violation
+   the broker must react to).
+2. **Excess guaranteed demand** ``c(u,t) − g(u)`` — the recursive
+   claim in ``Allocate_Guaranteed_Resource``: served best-effort-ly
+   from whatever ``Ca``/``Cg`` head-room remains (never from the
+   protected ``Cb`` minimum); partial service is fine.
+3. **Best-effort demand** — served from effective ``Cb`` plus all
+   remaining idle capacity, FCFS in arrival order; partial service is
+   fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AdmissionError
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class GuaranteedHolding:
+    """One guaranteed user's state in the partition.
+
+    Attributes:
+        user: User/session key.
+        committed: ``g(u)`` — the SLA-committed capacity.
+        demand: ``c(u,t)`` — current demand.
+        served: Capacity actually allocated right now.
+        from_g / from_a / from_b: Sourcing breakdown of ``served``
+            (the per-pool "x/y" views of the Section 5.6 tables).
+    """
+
+    user: str
+    committed: float
+    demand: float = 0.0
+    served: float = 0.0
+    from_g: float = 0.0
+    from_a: float = 0.0
+    from_b: float = 0.0
+
+    @property
+    def entitled(self) -> float:
+        """The must-serve portion ``min(c(u,t), g(u))``."""
+        return min(self.demand, self.committed)
+
+    @property
+    def shortfall(self) -> float:
+        """Entitled demand not currently served (an SLA violation)."""
+        return max(0.0, self.entitled - self.served)
+
+
+@dataclass
+class BestEffortHolding:
+    """One best-effort user's state in the partition."""
+
+    user: str
+    demand: float = 0.0
+    served: float = 0.0
+    arrival_order: int = 0
+
+
+@dataclass(frozen=True)
+class PoolUsage:
+    """Usage snapshot of one pool (a Section 5.6 table row).
+
+    ``guaranteed``/``excess``/``best_effort`` are the capacity units
+    this pool currently supplies to each tier; ``idle`` is what is
+    left of its effective size.
+    """
+
+    name: str
+    effective: float
+    guaranteed: float
+    excess: float
+    best_effort: float
+
+    @property
+    def used(self) -> float:
+        return self.guaranteed + self.excess + self.best_effort
+
+    @property
+    def idle(self) -> float:
+        return max(0.0, self.effective - self.used)
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one :meth:`CapacityPartition.rebalance` pass.
+
+    Attributes:
+        shortfalls: ``user -> unserved entitled capacity`` (violations).
+        preempted: ``user -> capacity taken back`` from best-effort
+            borrowers relative to the previous assignment.
+        adapt_transfer: Capacity ``Adapt()`` moved to the guaranteed
+            tier beyond effective ``Cg`` (from ``Ca``, then ``Cb``).
+        pools: Per-pool usage snapshot after the pass.
+    """
+
+    shortfalls: "Dict[str, float]"
+    preempted: "Dict[str, float]"
+    adapt_transfer: float
+    pools: "Tuple[PoolUsage, PoolUsage, PoolUsage]"
+
+    @property
+    def guarantees_honored(self) -> bool:
+        """Whether every entitled guaranteed unit is served."""
+        return not self.shortfalls
+
+
+class CapacityPartition:
+    """The administrator's ``C = Cg + Ca + Cb`` split, with borrowing.
+
+    Args:
+        guaranteed: Nominal ``Cg``.
+        adaptive: Nominal ``Ca``.
+        best_effort: Nominal ``Cb``.
+        best_effort_min: Protected best-effort minimum (never raided
+            by ``Adapt()``); defaults to 0.
+        failure_order: Which pools absorb capacity failures, first to
+            last. The Section 5.6 example loses nodes from the
+            guaranteed pool, so ``("g", "a", "b")`` is the default.
+    """
+
+    def __init__(self, guaranteed: float, adaptive: float,
+                 best_effort: float, *, best_effort_min: float = 0.0,
+                 failure_order: "Tuple[str, ...]" = ("g", "a", "b")) -> None:
+        for name, value in (("guaranteed", guaranteed),
+                            ("adaptive", adaptive),
+                            ("best_effort", best_effort)):
+            if value < 0:
+                raise AdmissionError(f"{name} capacity must be >= 0: {value}")
+        if not 0 <= best_effort_min <= best_effort:
+            raise AdmissionError(
+                f"best_effort_min must be in [0, Cb={best_effort}]: "
+                f"{best_effort_min}")
+        if sorted(failure_order) != ["a", "b", "g"]:
+            raise AdmissionError(
+                f"failure_order must be a permutation of g/a/b: "
+                f"{failure_order}")
+        self.cg = float(guaranteed)
+        self.ca = float(adaptive)
+        self.cb = float(best_effort)
+        self.best_effort_min = float(best_effort_min)
+        self.failure_order = failure_order
+        self._failed = 0.0
+        self._guaranteed: Dict[str, GuaranteedHolding] = {}
+        self._best_effort: Dict[str, BestEffortHolding] = {}
+        self._arrivals = 0
+        self.last_report: Optional[RebalanceReport] = None
+        self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Nominal total capacity ``C``."""
+        return self.cg + self.ca + self.cb
+
+    @property
+    def failed(self) -> float:
+        """Capacity currently lost to failures."""
+        return self._failed
+
+    def effective_sizes(self) -> "Tuple[float, float, float]":
+        """``(Cg, Ca, Cb)`` after failures, in ``failure_order``."""
+        remaining_failure = self._failed
+        sizes = {"g": self.cg, "a": self.ca, "b": self.cb}
+        for pool in self.failure_order:
+            absorbed = min(sizes[pool], remaining_failure)
+            sizes[pool] -= absorbed
+            remaining_failure -= absorbed
+        return sizes["g"], sizes["a"], sizes["b"]
+
+    def apply_failure(self, amount: float) -> RebalanceReport:
+        """Lose ``amount`` capacity units (node failures)."""
+        if amount < 0:
+            raise AdmissionError(f"failure amount must be >= 0: {amount}")
+        self._failed = min(self.total, self._failed + amount)
+        return self.rebalance()
+
+    def apply_repair(self, amount: Optional[float] = None) -> RebalanceReport:
+        """Recover ``amount`` failed units (all of them by default)."""
+        if amount is None:
+            self._failed = 0.0
+        else:
+            if amount < 0:
+                raise AdmissionError(f"repair amount must be >= 0: {amount}")
+            self._failed = max(0.0, self._failed - amount)
+        return self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Guaranteed-class admission and demand
+    # ------------------------------------------------------------------
+
+    def committed_total(self) -> float:
+        """``Σ g(u)`` over admitted guaranteed users."""
+        return sum(h.committed for h in self._guaranteed.values())
+
+    def available_guaranteed_resource(self, committed: float) -> bool:
+        """The paper's ``Available_Guaranteed_Resource(g(u))`` test:
+        a new SLA committing ``g(u)`` is admissible iff
+        ``Σ g(v) + g(u) <= Cg`` (nominal — the adaptive reserve exists
+        precisely to cover transient failures, so admission is against
+        the nominal pool)."""
+        return self.committed_total() + committed <= self.cg + _EPSILON
+
+    def admit_guaranteed(self, user: str, committed: float) -> GuaranteedHolding:
+        """Admit a guaranteed SLA committing ``g(u)`` capacity units.
+
+        Raises:
+            AdmissionError: When ``Available_Guaranteed_Resource``
+                fails or the user is already admitted.
+        """
+        if committed <= 0:
+            raise AdmissionError(
+                f"guaranteed commitment must be positive: {committed}")
+        if user in self._guaranteed:
+            raise AdmissionError(f"user {user!r} already admitted")
+        if not self.available_guaranteed_resource(committed):
+            raise AdmissionError(
+                f"cannot admit {user!r}: committed total "
+                f"{self.committed_total():g} + {committed:g} exceeds "
+                f"Cg={self.cg:g}")
+        holding = GuaranteedHolding(user=user, committed=committed)
+        self._guaranteed[user] = holding
+        return holding
+
+    def set_guaranteed_demand(self, user: str,
+                              demand: float) -> RebalanceReport:
+        """Update ``c(u,t)`` for an admitted user and rebalance."""
+        holding = self._guaranteed.get(user)
+        if holding is None:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        if demand < 0:
+            raise AdmissionError(f"demand must be >= 0: {demand}")
+        holding.demand = demand
+        return self.rebalance()
+
+    def remove_guaranteed(self, user: str) -> RebalanceReport:
+        """Drop a guaranteed user (SLA completed/expired) and rebalance."""
+        if user not in self._guaranteed:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        del self._guaranteed[user]
+        return self.rebalance()
+
+    def guaranteed_holding(self, user: str) -> GuaranteedHolding:
+        """The holding for an admitted guaranteed user."""
+        holding = self._guaranteed.get(user)
+        if holding is None:
+            raise AdmissionError(f"user {user!r} is not admitted")
+        return holding
+
+    def guaranteed_holdings(self) -> List[GuaranteedHolding]:
+        """All guaranteed holdings (stable order)."""
+        return [self._guaranteed[user] for user in sorted(self._guaranteed)]
+
+    # ------------------------------------------------------------------
+    # Best-effort demand
+    # ------------------------------------------------------------------
+
+    def set_best_effort_demand(self, user: str,
+                               demand: float) -> RebalanceReport:
+        """Update ``b(u,t)``; zero demand removes the user."""
+        if demand < 0:
+            raise AdmissionError(f"demand must be >= 0: {demand}")
+        if demand == 0:
+            self._best_effort.pop(user, None)
+            return self.rebalance()
+        holding = self._best_effort.get(user)
+        if holding is None:
+            self._arrivals += 1
+            holding = BestEffortHolding(user=user,
+                                        arrival_order=self._arrivals)
+            self._best_effort[user] = holding
+        holding.demand = demand
+        return self.rebalance()
+
+    def best_effort_holding(self, user: str) -> BestEffortHolding:
+        """The holding for a best-effort user."""
+        holding = self._best_effort.get(user)
+        if holding is None:
+            raise AdmissionError(f"user {user!r} has no best-effort demand")
+        return holding
+
+    def best_effort_holdings(self) -> List[BestEffortHolding]:
+        """All best-effort holdings, in arrival order."""
+        return sorted(self._best_effort.values(),
+                      key=lambda h: h.arrival_order)
+
+    def best_effort_served(self) -> float:
+        """Total best-effort capacity currently served."""
+        return sum(h.served for h in self._best_effort.values())
+
+    # ------------------------------------------------------------------
+    # The rebalance pass
+    # ------------------------------------------------------------------
+
+    def rebalance(self) -> RebalanceReport:
+        """Recompute the full assignment (see module docstring)."""
+        eff_g, eff_a, eff_b = self.effective_sizes()
+        previous_be = {user: holding.served
+                       for user, holding in self._best_effort.items()}
+
+        # Pool ledgers: how much each pool supplies to each tier.
+        supply = {name: {"guaranteed": 0.0, "excess": 0.0, "best_effort": 0.0}
+                  for name in ("g", "a", "b")}
+        remaining = {"g": eff_g, "a": eff_a, "b": eff_b}
+        protected_b = min(self.best_effort_min, eff_b)
+
+        def draw(pool: str, tier: str, amount: float, *,
+                 floor: float = 0.0) -> float:
+            """Take up to ``amount`` from a pool, respecting a floor."""
+            grantable = max(0.0, remaining[pool] - floor)
+            granted = min(amount, grantable)
+            remaining[pool] -= granted
+            supply[pool][tier] += granted
+            return granted
+
+        # --- Tier 1: entitled guaranteed demand -----------------------
+        shortfalls: Dict[str, float] = {}
+        adapt_transfer = 0.0
+        for holding in self.guaranteed_holdings():
+            holding.from_g = holding.from_a = holding.from_b = 0.0
+            need = holding.entitled
+            got_g = draw("g", "guaranteed", need)
+            need -= got_g
+            got_a = draw("a", "guaranteed", need)
+            need -= got_a
+            got_b = draw("b", "guaranteed", need, floor=protected_b)
+            need -= got_b
+            adapt_transfer += got_a + got_b
+            holding.from_g = got_g
+            holding.from_a = got_a
+            holding.from_b = got_b
+            holding.served = got_g + got_a + got_b
+            if need > _EPSILON:
+                shortfalls[holding.user] = need
+
+        # --- Tier 2: excess guaranteed demand --------------------------
+        for holding in self.guaranteed_holdings():
+            excess = max(0.0, holding.demand - holding.committed)
+            if excess <= _EPSILON:
+                continue
+            got_a = draw("a", "excess", excess)
+            excess -= got_a
+            got_g = draw("g", "excess", excess)
+            excess -= got_g
+            holding.from_a += got_a
+            holding.from_g += got_g
+            holding.served += got_a + got_g
+
+        # --- Tier 3: best-effort demand --------------------------------
+        preempted: Dict[str, float] = {}
+        for holding in self.best_effort_holdings():
+            need = holding.demand
+            got_b = draw("b", "best_effort", need)
+            need -= got_b
+            got_a = draw("a", "best_effort", need)
+            need -= got_a
+            got_g = draw("g", "best_effort", need)
+            holding.served = got_b + got_a + got_g
+            before = previous_be.get(holding.user, 0.0)
+            if holding.served < before - _EPSILON:
+                preempted[holding.user] = before - holding.served
+
+        pools = (
+            PoolUsage("Cg", eff_g, supply["g"]["guaranteed"],
+                      supply["g"]["excess"], supply["g"]["best_effort"]),
+            PoolUsage("Ca", eff_a, supply["a"]["guaranteed"],
+                      supply["a"]["excess"], supply["a"]["best_effort"]),
+            PoolUsage("Cb", eff_b, supply["b"]["guaranteed"],
+                      supply["b"]["excess"], supply["b"]["best_effort"]),
+        )
+        self.last_report = RebalanceReport(
+            shortfalls=shortfalls, preempted=preempted,
+            adapt_transfer=adapt_transfer, pools=pools)
+        return self.last_report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_served(self) -> float:
+        """All capacity currently allocated across every tier."""
+        return (sum(h.served for h in self._guaranteed.values())
+                + self.best_effort_served())
+
+    def idle_capacity(self) -> float:
+        """Effective capacity not serving anyone."""
+        eff_g, eff_a, eff_b = self.effective_sizes()
+        return max(0.0, eff_g + eff_a + eff_b - self.total_served())
+
+    def utilization(self) -> float:
+        """Fraction of effective capacity in use (0 when none exists)."""
+        eff_total = sum(self.effective_sizes())
+        if eff_total <= 0:
+            return 0.0
+        return min(1.0, self.total_served() / eff_total)
+
+    def snapshot(self) -> "Dict[str, float]":
+        """Flat numeric snapshot for metrics and reports."""
+        eff_g, eff_a, eff_b = self.effective_sizes()
+        report = self.last_report
+        return {
+            "cg": self.cg, "ca": self.ca, "cb": self.cb,
+            "eff_g": eff_g, "eff_a": eff_a, "eff_b": eff_b,
+            "failed": self._failed,
+            "committed": self.committed_total(),
+            "guaranteed_served": sum(h.served
+                                     for h in self._guaranteed.values()),
+            "best_effort_served": self.best_effort_served(),
+            "idle": self.idle_capacity(),
+            "utilization": self.utilization(),
+            "adapt_transfer": (report.adapt_transfer
+                               if report is not None else 0.0),
+        }

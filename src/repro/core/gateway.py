@@ -1,0 +1,195 @@
+"""The SOAP-style gateway onto the AQoS broker (Figure 5).
+
+"A client interface application starts at the client side; the client
+application communicates with the AQoS broker using SOAP messages over
+HTTP protocol" (Section 6). The gateway registers the broker as an
+``aqos`` endpoint on a :class:`~repro.xmlmsg.bus.MessageBus` and
+handles the four client operations of the Figure 7 interface:
+
+* ``service_request`` — discovery + negotiation; replies with a
+  ``service_offer`` message.
+* ``accept_offer`` — establishes the SLA; replies with the Table 4
+  ``<Service_SLA>`` document.
+* ``reject_offer`` — abandons the negotiation.
+* ``verify_sla`` — explicit conformance test; replies with the Table 3
+  ``<QoS_Levels>`` document.
+
+:class:`ClientStub` is the matching client-side helper, so examples
+and tests can drive the broker purely through XML messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+from xml.etree import ElementTree as ET
+
+from ..errors import MessageError
+from ..sla.negotiation import Negotiation, Offer, ServiceRequest
+from ..xmlmsg import codec
+from ..xmlmsg.bus import MessageBus
+from ..xmlmsg.document import child_text, element, subelement
+from ..xmlmsg.envelope import Envelope
+from .broker import AQoSBroker
+
+
+class BrokerGateway:
+    """Exposes a broker as the ``aqos`` endpoint on a message bus."""
+
+    def __init__(self, broker: AQoSBroker, bus: MessageBus, *,
+                 endpoint_name: str = "aqos") -> None:
+        self._broker = broker
+        self._bus = bus
+        self.endpoint_name = endpoint_name
+        self._negotiations: Dict[int, Negotiation] = {}
+        endpoint = bus.endpoint(endpoint_name)
+        endpoint.on("service_request", self._on_service_request)
+        endpoint.on("accept_offer", self._on_accept_offer)
+        endpoint.on("reject_offer", self._on_reject_offer)
+        endpoint.on("verify_sla", self._on_verify_sla)
+        endpoint.on("renegotiate", self._on_renegotiate)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _on_service_request(self, envelope: Envelope) -> Envelope:
+        request = codec.decode_service_request(envelope.body)
+        negotiation, reason = self._broker.negotiate(request)
+        if negotiation.state.value != "offered":
+            failure = element("Service_Offer_Failure")
+            subelement(failure, "Reason", reason or "negotiation failed")
+            return envelope.reply("service_offer_failure", failure)
+        self._negotiations[negotiation.negotiation_id] = negotiation
+        return envelope.reply(
+            "service_offer",
+            codec.encode_offers(negotiation.negotiation_id,
+                                negotiation.offers))
+
+    def _lookup(self, envelope: Envelope) -> Negotiation:
+        negotiation_id = int(child_text(envelope.body, "Negotiation-ID"))
+        negotiation = self._negotiations.get(negotiation_id)
+        if negotiation is None:
+            raise MessageError(
+                f"unknown or finished negotiation {negotiation_id}")
+        return negotiation
+
+    def _on_accept_offer(self, envelope: Envelope) -> Envelope:
+        negotiation = self._lookup(envelope)
+        index = int(child_text(envelope.body, "Offer-Index", default="0"))
+        negotiation.accept(negotiation.offers[index])
+        outcome = self._broker.establish(negotiation)
+        del self._negotiations[negotiation.negotiation_id]
+        if not outcome.accepted or outcome.sla is None:
+            failure = element("Establishment_Failure")
+            subelement(failure, "Reason", outcome.reason)
+            return envelope.reply("establishment_failure", failure)
+        return envelope.reply("sla_established",
+                              codec.encode_service_sla(outcome.sla))
+
+    def _on_reject_offer(self, envelope: Envelope) -> Envelope:
+        negotiation = self._lookup(envelope)
+        negotiation.reject()
+        del self._negotiations[negotiation.negotiation_id]
+        acknowledgement = element("Offer_Rejected")
+        subelement(acknowledgement, "Negotiation-ID",
+                   str(negotiation.negotiation_id))
+        return envelope.reply("offer_rejected", acknowledgement)
+
+    def _on_verify_sla(self, envelope: Envelope) -> Envelope:
+        sla_id = int(child_text(envelope.body, "SLA-ID"))
+        reply = self._broker.verifier.conformance_reply_xml(sla_id)
+        return envelope.reply("qos_levels", reply)
+
+    def _on_renegotiate(self, envelope: Envelope) -> Envelope:
+        """Mid-session re-negotiation over XML.
+
+        The body carries the SLA id, a replacement
+        ``<QoS_Specification>`` and an optional budget rate. On success
+        the reply is the updated Table 4 document; on refusal, a
+        failure message with the broker's reason.
+        """
+        from ..xmlmsg.codec import _decode_specification  # noqa: SLF001
+        from ..xmlmsg.document import require_child
+        body = envelope.body
+        sla_id = int(child_text(body, "SLA-ID"))
+        specification = _decode_specification(
+            require_child(body, "QoS_Specification"))
+        budget_text = child_text(body, "Budget_Rate", default="")
+        budget = float(budget_text) if budget_text else None
+        ok, reason = self._broker.renegotiate_session(
+            sla_id, specification, budget_rate=budget)
+        if not ok:
+            failure = element("Renegotiation_Failure")
+            subelement(failure, "Reason", reason)
+            return envelope.reply("renegotiation_failure", failure)
+        sla = self._broker.repository.get(sla_id)
+        return envelope.reply("sla_renegotiated",
+                              codec.encode_service_sla(sla))
+
+
+class ClientStub:
+    """Client-side helper sending the Figure 7 XML messages."""
+
+    def __init__(self, name: str, bus: MessageBus, *,
+                 gateway_name: str = "aqos") -> None:
+        self.name = name
+        self._bus = bus
+        self._gateway_name = gateway_name
+
+    def _request(self, action: str, body: ET.Element) -> Envelope:
+        envelope = Envelope(sender=self.name,
+                            recipient=self._gateway_name,
+                            action=action, body=body)
+        return self._bus.request(envelope)
+
+    def request_service(self, request: ServiceRequest
+                        ) -> "tuple[Optional[int], list, str]":
+        """Send a ``service_request``; returns
+        ``(negotiation_id, offers, failure_reason)``."""
+        response = self._request("service_request",
+                                 codec.encode_service_request(request))
+        if response.action == "service_offer_failure":
+            return None, [], child_text(response.body, "Reason")
+        negotiation_id, offers = codec.decode_offers(response.body)
+        return negotiation_id, offers, ""
+
+    def accept_offer(self, negotiation_id: int, *,
+                     offer_index: int = 0):
+        """Accept an offer; returns the decoded SLA document (or
+        ``None`` with the failure reason)."""
+        body = element("Accept_Offer")
+        subelement(body, "Negotiation-ID", str(negotiation_id))
+        subelement(body, "Offer-Index", str(offer_index))
+        response = self._request("accept_offer", body)
+        if response.action == "establishment_failure":
+            return None, child_text(response.body, "Reason")
+        return codec.decode_service_sla(response.body), ""
+
+    def reject_offer(self, negotiation_id: int) -> None:
+        """Reject the outstanding offers."""
+        body = element("Reject_Offer")
+        subelement(body, "Negotiation-ID", str(negotiation_id))
+        self._request("reject_offer", body)
+
+    def verify_sla(self, sla_id: int):
+        """Explicit SLA verification test; returns the measured values
+        decoded from the Table 3 reply."""
+        body = element("Verify_SLA")
+        subelement(body, "SLA-ID", str(sla_id))
+        response = self._request("verify_sla", body)
+        return codec.decode_qos_levels(response.body)
+
+    def renegotiate(self, sla_id: int, specification, *,
+                    budget_rate: Optional[float] = None):
+        """Re-negotiate a live session's QoS; returns the updated SLA
+        document (or ``None`` with the broker's refusal reason)."""
+        from ..xmlmsg.codec import _encode_specification  # noqa: SLF001
+        body = element("Renegotiate")
+        subelement(body, "SLA-ID", str(sla_id))
+        body.append(_encode_specification(specification))
+        if budget_rate is not None:
+            subelement(body, "Budget_Rate", f"{budget_rate:.12g}")
+        response = self._request("renegotiate", body)
+        if response.action == "renegotiation_failure":
+            return None, child_text(response.body, "Reason")
+        return codec.decode_service_sla(response.body), ""

@@ -1,0 +1,240 @@
+"""The resource-allocation optimization of Section 5.3.
+
+"The AQoS implements this optimization by varying the resource quality
+selection, based on supplied levels of quality in the SLA, which aims
+to maximize overall monetary profit, while maintaining the user's
+acceptable quality": pick, for every adjustable (controlled-load)
+service, one operating point from its SLA-admissible levels, to
+
+    maximize   Σ_services Σ_i q_i · w_i
+    subject to Σ_services demand(point) ≤ capacity
+
+with every service at least at its floor level. This is a multiple-
+choice knapsack; the paper proposes a heuristic, so we provide:
+
+* :func:`greedy_optimize` — the heuristic: start every service at its
+  floor, then repeatedly apply the upgrade with the best marginal
+  revenue per unit of (scarcity-weighted) extra demand.
+* :func:`exact_optimize` — a branch-and-bound reference solver used by
+  tests and the ablation benchmark to measure the heuristic's gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import AdmissionError
+from ..qos.classes import ServiceClass
+from ..qos.cost import PricingPolicy
+from ..qos.specification import OperatingPoint, QoSSpecification
+from ..qos.vector import ResourceVector
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class QualityCandidate:
+    """One admissible operating point for one service.
+
+    Attributes:
+        service_key: The owning service/SLA key.
+        level: Index within the service's level list (0 = floor).
+        point: The operating point.
+        demand: Resource demand of the point.
+        revenue_rate: Revenue earned per time unit at this point.
+    """
+
+    service_key: str
+    level: int
+    point: "OperatingPoint"
+    demand: ResourceVector
+    revenue_rate: float
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """An assignment of one candidate per service.
+
+    Attributes:
+        assignment: ``service_key -> chosen candidate``.
+        revenue: Total revenue rate of the assignment.
+        used: Total resource demand of the assignment.
+        explored: Search nodes visited (1 per greedy step; B&B nodes
+            for the exact solver).
+        feasible: Whether every service received at least its floor.
+    """
+
+    assignment: "Dict[str, QualityCandidate]"
+    revenue: float
+    used: ResourceVector
+    explored: int
+    feasible: bool
+
+
+def candidates_for(service_key: str, specification: QoSSpecification,
+                   service_class: ServiceClass, policy: PricingPolicy, *,
+                   levels: int = 5) -> List[QualityCandidate]:
+    """Enumerate a service's candidate operating points, floor first."""
+    points = specification.quality_levels(levels)
+    candidates = []
+    for index, point in enumerate(points):
+        candidates.append(QualityCandidate(
+            service_key=service_key, level=index, point=point,
+            demand=QoSSpecification.point_demand(point),
+            revenue_rate=policy.point_rate(point, service_class)))
+    return candidates
+
+
+def _fits(used: ResourceVector, extra: ResourceVector,
+          capacity: ResourceVector) -> bool:
+    return (used + extra).fits_within(capacity)
+
+
+def _scarcity_cost(extra: ResourceVector, used: ResourceVector,
+                   capacity: ResourceVector) -> float:
+    """Weight extra demand by how scarce each component already is.
+
+    The cost of one more unit of a component grows as its remaining
+    head-room shrinks, so the greedy prefers upgrades that consume
+    abundant resources.
+    """
+    total = 0.0
+    for name in ResourceVector._FIELDS:
+        need = getattr(extra, name)
+        if need <= 0:
+            continue
+        cap = getattr(capacity, name)
+        if cap <= 0:
+            return float("inf")
+        headroom = max(_EPSILON, cap - getattr(used, name))
+        total += need / headroom
+    return total
+
+
+def greedy_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
+                    capacity: ResourceVector) -> OptimizationResult:
+    """The Section 5.3 heuristic (marginal-revenue greedy).
+
+    Every service starts at its floor (level 0). If even the floors do
+    not fit, the result is flagged infeasible — the caller (Scenario 1)
+    must degrade or refuse someone instead. Then, repeatedly, the
+    single-level upgrade with the highest marginal revenue per unit of
+    scarcity-weighted extra demand is applied, until no upgrade fits.
+    """
+    assignment: Dict[str, QualityCandidate] = {}
+    used = ResourceVector.zero()
+    for key in sorted(services):
+        levels = services[key]
+        if not levels:
+            raise AdmissionError(f"service {key!r} has no candidates")
+        assignment[key] = levels[0]
+        used = used + levels[0].demand
+    feasible = used.fits_within(capacity)
+    explored = 1
+    while feasible:
+        best_key: Optional[str] = None
+        best_candidate: Optional[QualityCandidate] = None
+        best_ratio = 0.0
+        for key in sorted(services):
+            current = assignment[key]
+            levels = services[key]
+            if current.level + 1 >= len(levels):
+                continue
+            upgrade = levels[current.level + 1]
+            extra = upgrade.demand - current.demand
+            gain = upgrade.revenue_rate - current.revenue_rate
+            if gain <= _EPSILON:
+                continue
+            without = used - current.demand
+            if not _fits(without, upgrade.demand, capacity):
+                continue
+            cost = _scarcity_cost(extra, used, capacity)
+            ratio = gain / cost if cost > _EPSILON else float("inf")
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_key = key
+                best_candidate = upgrade
+        if best_key is None or best_candidate is None:
+            break
+        used = (used - assignment[best_key].demand) + best_candidate.demand
+        assignment[best_key] = best_candidate
+        explored += 1
+    revenue = sum(candidate.revenue_rate
+                  for candidate in assignment.values())
+    return OptimizationResult(assignment=assignment, revenue=revenue,
+                              used=used, explored=explored,
+                              feasible=feasible)
+
+
+def exact_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
+                   capacity: ResourceVector, *,
+                   node_limit: int = 2_000_000) -> OptimizationResult:
+    """Branch-and-bound reference solver (exact for small instances).
+
+    Services are branched in sorted-key order, levels best-revenue
+    first; the bound at each node is the current revenue plus every
+    remaining service's maximum candidate revenue (capacity-ignoring,
+    hence admissible).
+
+    Raises:
+        AdmissionError: When ``node_limit`` search nodes are exceeded —
+            use the greedy heuristic for instances that large.
+    """
+    keys = sorted(services)
+    for key in keys:
+        if not services[key]:
+            raise AdmissionError(f"service {key!r} has no candidates")
+    max_rest = [0.0] * (len(keys) + 1)
+    for index in range(len(keys) - 1, -1, -1):
+        best = max(c.revenue_rate for c in services[keys[index]])
+        max_rest[index] = max_rest[index + 1] + best
+
+    best_solution: "Dict[str, QualityCandidate]" = {}
+    best_revenue = -1.0
+    explored = 0
+
+    def search(index: int, used: ResourceVector, revenue: float,
+               chosen: "Dict[str, QualityCandidate]") -> None:
+        nonlocal best_revenue, best_solution, explored
+        explored += 1
+        if explored > node_limit:
+            raise AdmissionError(
+                f"exact_optimize exceeded node_limit={node_limit}")
+        if index == len(keys):
+            if revenue > best_revenue:
+                best_revenue = revenue
+                best_solution = dict(chosen)
+            return
+        if revenue + max_rest[index] <= best_revenue + _EPSILON:
+            return
+        key = keys[index]
+        ordered = sorted(services[key],
+                         key=lambda c: -c.revenue_rate)
+        for candidate in ordered:
+            if not _fits(used, candidate.demand, capacity):
+                continue
+            chosen[key] = candidate
+            search(index + 1, used + candidate.demand,
+                   revenue + candidate.revenue_rate, chosen)
+            del chosen[key]
+
+    search(0, ResourceVector.zero(), 0.0, {})
+    if best_revenue < 0:
+        # No complete assignment fits: fall back to floors, flagged
+        # infeasible, mirroring greedy_optimize's contract.
+        assignment = {key: services[key][0] for key in keys}
+        used = ResourceVector.zero()
+        for candidate in assignment.values():
+            used = used + candidate.demand
+        return OptimizationResult(assignment=assignment,
+                                  revenue=sum(c.revenue_rate for c in
+                                              assignment.values()),
+                                  used=used, explored=explored,
+                                  feasible=False)
+    used = ResourceVector.zero()
+    for candidate in best_solution.values():
+        used = used + candidate.demand
+    return OptimizationResult(assignment=best_solution,
+                              revenue=best_revenue, used=used,
+                              explored=explored, feasible=True)

@@ -1,0 +1,205 @@
+"""Testbed wiring: the Figure 5 single-domain deployment and the
+Figure 1 multi-domain architecture.
+
+:func:`build_testbed` assembles a fully wired single-domain G-QoSM
+instance — simulator, machine, compute RM, topology, NRM, UDDIe, SLA
+repository, pricing, capacity partition and the AQoS broker — in the
+proportions of the paper's running example (26 grid nodes split
+15/6/5). :func:`build_multidomain` stands up one broker per domain over
+a shared topology with an inter-domain coordinator, matching Figure 1's
+two-domain picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..monitoring.mds import InformationService
+from ..monitoring.notifications import NotificationHub
+from ..network.interdomain import InterDomainCoordinator
+from ..network.nrm import NetworkResourceManager
+from ..network.topology import Topology
+from ..qos.cost import PricingPolicy
+from ..qos.parameters import Dimension, range_parameter
+from ..qos.specification import QoSSpecification
+from ..registry.uddie import UddieRegistry
+from ..resources.compute import ComputeResourceManager
+from ..resources.machine import Machine
+from ..sim.engine import Simulator
+from ..sim.random import RandomSource
+from ..sim.trace import TraceRecorder
+from ..sla.repository import SLARepository
+from .broker import AQoSBroker
+from .capacity import CapacityPartition
+
+
+@dataclass
+class Testbed:
+    """A wired single-domain G-QoSM instance."""
+
+    sim: Simulator
+    trace: TraceRecorder
+    rng: RandomSource
+    machine: Machine
+    compute_rm: ComputeResourceManager
+    topology: Topology
+    nrm: NetworkResourceManager
+    registry: UddieRegistry
+    partition: CapacityPartition
+    broker: AQoSBroker
+
+    @property
+    def repository(self) -> SLARepository:
+        """The broker's SLA repository."""
+        return self.broker.repository
+
+
+def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
+                  adaptive_cpu: int = 6, best_effort_cpu: int = 5,
+                  best_effort_min: int = 2,
+                  machine_nodes: int = 64,
+                  memory_mb: float = 10_240.0,
+                  disk_mb: float = 51_200.0,
+                  link_mbps: float = 622.0,
+                  seed: int = 0,
+                  optimizer_interval: float = 0.0,
+                  pricing: Optional[PricingPolicy] = None,
+                  register_default_services: bool = True) -> Testbed:
+    """Build the Figure 5 testbed with the Section 5.6 proportions.
+
+    The default capacity split is the paper's: 26 grid-exposed nodes
+    partitioned ``Cg=15, Ca=6, Cb=5`` on a 64-node machine, with a
+    622 Mbps backbone between the sites of the example.
+    """
+    if guaranteed_cpu + adaptive_cpu + best_effort_cpu != total_cpu:
+        raise ValueError(
+            f"partition {guaranteed_cpu}+{adaptive_cpu}+{best_effort_cpu} "
+            f"!= total {total_cpu}")
+    sim = Simulator()
+    trace = TraceRecorder()
+    rng = RandomSource(seed)
+
+    machine = Machine("sgi-siteA", machine_nodes, grid_nodes=total_cpu,
+                      memory_mb=memory_mb, disk_mb=disk_mb)
+    compute_rm = ComputeResourceManager(sim, machine, trace=trace)
+
+    topology = Topology()
+    topology.add_site("siteA", "domain1", address="192.200.168.33")
+    topology.add_site("siteB", "domain1", address="135.200.50.101")
+    topology.add_site("siteC", "domain1", address="10.10.10.3")
+    topology.add_link("siteA", "siteB", link_mbps, delay_ms=5.0)
+    topology.add_link("siteA", "siteC", 155.0, delay_ms=8.0)
+    nrm = NetworkResourceManager(sim, topology, "domain1",
+                                 rng=rng.stream("nrm"), trace=trace)
+
+    registry = UddieRegistry()
+    if register_default_services:
+        _register_default_services(registry, total_cpu, memory_mb, disk_mb,
+                                   link_mbps)
+
+    partition = CapacityPartition(guaranteed_cpu, adaptive_cpu,
+                                  best_effort_cpu,
+                                  best_effort_min=best_effort_min)
+    broker = AQoSBroker(sim, registry=registry, compute_rm=compute_rm,
+                        partition=partition, nrm=nrm,
+                        pricing=pricing or PricingPolicy(), trace=trace,
+                        mds=InformationService(sim),
+                        hub=NotificationHub(),
+                        repository=SLARepository(first_id=1000),
+                        optimizer_interval=optimizer_interval)
+    return Testbed(sim=sim, trace=trace, rng=rng, machine=machine,
+                   compute_rm=compute_rm, topology=topology, nrm=nrm,
+                   registry=registry, partition=partition, broker=broker)
+
+
+def _register_default_services(registry: UddieRegistry, total_cpu: int,
+                               memory_mb: float, disk_mb: float,
+                               link_mbps: float) -> None:
+    """Register the services the paper's scenarios exercise."""
+    full_capability = QoSSpecification.of(
+        range_parameter(Dimension.CPU, 0, total_cpu),
+        range_parameter(Dimension.MEMORY_MB, 0, memory_mb),
+        range_parameter(Dimension.DISK_MB, 0, disk_mb),
+        range_parameter(Dimension.BANDWIDTH_MBPS, 0, link_mbps),
+    )
+    registry.register("simulation-service", "cardiff-escience",
+                      endpoint="service.simulation",
+                      capability=full_capability,
+                      properties={"os": "linux", "nodes": total_cpu})
+    registry.register("visualization-service", "cardiff-escience",
+                      endpoint="service.visualization",
+                      capability=full_capability,
+                      properties={"os": "linux", "gpu": "no"})
+    registry.register("data-transfer-service", "cardiff-escience",
+                      endpoint="service.transfer",
+                      capability=full_capability,
+                      properties={"protocol": "gridftp"})
+
+
+@dataclass
+class MultiDomainTestbed:
+    """One broker per domain over a shared topology (Figure 1)."""
+
+    sim: Simulator
+    trace: TraceRecorder
+    topology: Topology
+    coordinator: InterDomainCoordinator
+    brokers: "Dict[str, AQoSBroker]"
+    machines: "Dict[str, Machine]"
+
+
+def build_multidomain(*, domains: int = 2, nodes_per_domain: int = 26,
+                      seed: int = 0,
+                      inter_domain_mbps: float = 622.0) -> MultiDomainTestbed:
+    """Stand up the Figure 1 architecture: ``domains`` AQoS brokers,
+    each with its own RM and NRM, joined by inter-domain links."""
+    if domains < 1:
+        raise ValueError(f"need at least one domain: {domains}")
+    sim = Simulator()
+    trace = TraceRecorder()
+    rng = RandomSource(seed)
+    topology = Topology()
+    nrms: List[NetworkResourceManager] = []
+    machines: Dict[str, Machine] = {}
+    compute_rms: Dict[str, ComputeResourceManager] = {}
+    for index in range(domains):
+        domain = f"domain{index + 1}"
+        topology.add_site(f"site{index + 1}", domain,
+                          address=f"10.{index + 1}.0.1")
+        nrms.append(NetworkResourceManager(
+            sim, topology, domain, rng=rng.stream(domain), trace=trace))
+        machine = Machine(f"cluster-{domain}", nodes_per_domain * 2,
+                          grid_nodes=nodes_per_domain,
+                          memory_mb=8192.0, disk_mb=40_960.0)
+        machines[domain] = machine
+        compute_rms[domain] = ComputeResourceManager(sim, machine,
+                                                     trace=trace)
+    for index in range(domains - 1):
+        topology.add_link(f"site{index + 1}", f"site{index + 2}",
+                          inter_domain_mbps, delay_ms=10.0)
+    coordinator = InterDomainCoordinator(topology, nrms)
+    brokers: Dict[str, AQoSBroker] = {}
+    for index in range(domains):
+        domain = f"domain{index + 1}"
+        registry = UddieRegistry()
+        _register_default_services(registry, nodes_per_domain, 8192.0,
+                                   40_960.0, inter_domain_mbps)
+        guaranteed = int(nodes_per_domain * 0.6)
+        adaptive = int(nodes_per_domain * 0.2)
+        best_effort = nodes_per_domain - guaranteed - adaptive
+        partition = CapacityPartition(guaranteed, adaptive, best_effort,
+                                      best_effort_min=1)
+        brokers[domain] = AQoSBroker(
+            sim, registry=registry, compute_rm=compute_rms[domain],
+            partition=partition, coordinator=coordinator, trace=trace,
+            repository=SLARepository(first_id=1000 + 1000 * index))
+    # Figure 1 interconnects the AQoS brokers across domains: requests
+    # a broker cannot serve are forwarded to its neighbors.
+    for domain, broker in brokers.items():
+        for other_domain, other in brokers.items():
+            if other_domain != domain:
+                broker.add_peer(other)
+    return MultiDomainTestbed(sim=sim, trace=trace, topology=topology,
+                              coordinator=coordinator, brokers=brokers,
+                              machines=machines)

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the G-QoSM reproduction.
+
+Every error raised by the library derives from :class:`GQoSMError`, so
+callers embedding the broker in a larger system can catch one base type.
+The hierarchy mirrors the subsystems: reservation failures come from the
+GARA layer, admission failures from the adaptation core, negotiation
+failures from the SLA layer, and so on.
+"""
+
+from __future__ import annotations
+
+
+class GQoSMError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class UnitError(GQoSMError, ValueError):
+    """A quantity string could not be parsed or converted."""
+
+
+class SimulationError(GQoSMError):
+    """The discrete-event engine was driven incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that was already stopped.
+    """
+
+
+class MessageError(GQoSMError):
+    """An XML message could not be encoded or decoded."""
+
+
+class RSLError(GQoSMError, ValueError):
+    """A Globus RSL resource-specification string failed to parse."""
+
+
+class QoSSpecificationError(GQoSMError, ValueError):
+    """A QoS parameter or specification is malformed.
+
+    Examples: a range whose low bound exceeds its high bound, or a
+    discrete value list that is empty.
+    """
+
+
+class SLAError(GQoSMError):
+    """Base class for SLA-layer errors."""
+
+
+class NegotiationError(SLAError):
+    """The negotiation protocol was driven out of order or failed."""
+
+
+class SLAViolationError(SLAError):
+    """Raised when an operation would violate an established SLA."""
+
+
+class LifecycleError(SLAError):
+    """An illegal QoS-session phase transition was attempted."""
+
+
+class ReservationError(GQoSMError):
+    """Base class for GARA reservation-layer errors."""
+
+
+class ReservationNotFound(ReservationError, KeyError):
+    """The reservation handle does not refer to a live reservation."""
+
+
+class ReservationStateError(ReservationError):
+    """The reservation is in the wrong state for the requested call."""
+
+
+class CapacityError(ReservationError):
+    """There is not enough capacity to satisfy a reservation/claim."""
+
+
+class AdmissionError(GQoSMError):
+    """The adaptation core rejected an allocation request."""
+
+
+class RegistryError(GQoSMError):
+    """A registry (UDDIe) operation failed."""
+
+
+class ServiceNotFound(RegistryError, KeyError):
+    """No registered service matches the requested key or query."""
+
+
+class ResourceError(GQoSMError):
+    """A resource-manager (compute or network) operation failed."""
+
+
+class NetworkError(ResourceError):
+    """A network-resource-manager operation failed.
+
+    Examples: no path between endpoints, or a bandwidth allocation on
+    an unknown link.
+    """
+
+
+class MonitoringError(GQoSMError):
+    """A monitoring subsystem (sensor / MDS / verifier) call failed."""

@@ -1,0 +1,51 @@
+"""Plain-text result tables for benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Cell]], *,
+                 title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Column widths fit the longest cell; numbers are right-aligned,
+    text left-aligned.
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [all(isinstance(row[index], (int, float))
+                   for row in rows) if rows else False
+               for index in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)

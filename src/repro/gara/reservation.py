@@ -1,0 +1,130 @@
+"""Reservation objects and their lifecycle.
+
+Section 3.1 describes the flow the state machine encodes:
+
+* resources are reserved **temporarily** during discovery;
+* if the broker confirms within a deadline the reservation is
+  **committed**, otherwise GARA cancels it;
+* when the Grid service launches it *claims* the reservation by
+  **binding** its process ID;
+* unbinding returns it to committed; cancellation or window expiry
+  finishes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import ReservationStateError
+from ..qos.vector import ResourceVector
+from .slot_table import SlotEntry
+
+_handle_counter = itertools.count(1000)
+
+
+class ReservationState(Enum):
+    """Lifecycle states of a GARA reservation."""
+
+    TEMPORARY = "temporary"
+    COMMITTED = "committed"
+    BOUND = "bound"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the reservation still holds capacity."""
+        return self in (ReservationState.TEMPORARY,
+                        ReservationState.COMMITTED,
+                        ReservationState.BOUND)
+
+
+@dataclass(frozen=True)
+class ReservationHandle:
+    """The opaque reference returned by ``reservation_create``."""
+
+    value: int
+
+    @classmethod
+    def fresh(cls) -> "ReservationHandle":
+        return cls(next(_handle_counter))
+
+    def __str__(self) -> str:
+        return f"gara-{self.value}"
+
+
+@dataclass
+class Reservation:
+    """A live reservation tracked by a :class:`~repro.gara.api.GaraApi`.
+
+    Attributes:
+        handle: The opaque reference.
+        entry: The slot-table booking backing this reservation.
+        rsl: The RSL string the reservation was created from.
+        state: Current lifecycle state.
+        created_at: Simulation time of creation.
+        confirm_deadline: Time by which a temporary reservation must be
+            committed before GARA cancels it.
+        bound_pid: Claiming process ID once bound.
+    """
+
+    handle: ReservationHandle
+    entry: SlotEntry
+    rsl: str
+    state: ReservationState = ReservationState.TEMPORARY
+    created_at: float = 0.0
+    confirm_deadline: Optional[float] = None
+    bound_pid: Optional[int] = None
+
+    @property
+    def demand(self) -> ResourceVector:
+        """The booked resource demand."""
+        return self.entry.demand
+
+    @property
+    def window(self) -> "tuple[float, float]":
+        """The booked ``(start, end)`` window."""
+        return (self.entry.start, self.entry.end)
+
+    def _require(self, *states: ReservationState) -> None:
+        if self.state not in states:
+            expected = ", ".join(s.value for s in states)
+            raise ReservationStateError(
+                f"reservation {self.handle} is {self.state.value}; "
+                f"operation needs one of: {expected}")
+
+    def commit(self) -> None:
+        """Temporary → committed (broker confirmed the SLA)."""
+        self._require(ReservationState.TEMPORARY)
+        self.state = ReservationState.COMMITTED
+
+    def bind(self, pid: int) -> None:
+        """Committed → bound (the launched process claims it)."""
+        self._require(ReservationState.COMMITTED)
+        self.state = ReservationState.BOUND
+        self.bound_pid = pid
+
+    def unbind(self) -> None:
+        """Bound → committed (the process detaches)."""
+        self._require(ReservationState.BOUND)
+        self.state = ReservationState.COMMITTED
+        self.bound_pid = None
+
+    def cancel(self) -> None:
+        """Any live state → cancelled."""
+        self._require(ReservationState.TEMPORARY,
+                      ReservationState.COMMITTED,
+                      ReservationState.BOUND)
+        self.state = ReservationState.CANCELLED
+        self.bound_pid = None
+
+    def expire(self) -> None:
+        """Any live state → expired (window ended)."""
+        self._require(ReservationState.TEMPORARY,
+                      ReservationState.COMMITTED,
+                      ReservationState.BOUND)
+        self.state = ReservationState.EXPIRED
+        self.bound_pid = None

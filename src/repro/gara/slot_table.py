@@ -1,0 +1,206 @@
+"""Advance-reservation slot table.
+
+Reservations claim a :class:`~repro.qos.vector.ResourceVector` over a
+half-open time window ``[start, end)``. The table answers the two
+questions admission control needs — "what is free over this window?"
+and "does this demand fit?" — by scanning the event points (reservation
+starts) inside the window: usage is piecewise constant between event
+points, so the component-wise peak over those points is exact.
+
+The table also supports capacity *reduction* (node failures shrink the
+pool in the Section 5.6 example) and reports which windows become
+overcommitted so the adaptation layer can react.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import CapacityError, ReservationNotFound
+from ..qos.vector import ResourceVector
+
+_entry_counter = itertools.count(1)
+
+#: Sentinel end time for open-ended reservations.
+FOREVER = float("inf")
+
+
+@dataclass(frozen=True)
+class SlotEntry:
+    """One booked window in the table."""
+
+    entry_id: int
+    demand: ResourceVector
+    start: float
+    end: float
+    label: str = ""
+
+    def active_at(self, time: float) -> bool:
+        """Whether the window covers ``time`` (half-open semantics)."""
+        return self.start <= time < self.end
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether the window intersects ``[start, end)``."""
+        return self.start < end and start < self.end
+
+
+class SlotTable:
+    """Time-indexed capacity accounting for one resource pool."""
+
+    def __init__(self, capacity: ResourceVector) -> None:
+        self._capacity = capacity
+        self._entries: Dict[int, SlotEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """The pool's total capacity."""
+        return self._capacity
+
+    def set_capacity(self, capacity: ResourceVector) -> None:
+        """Change the pool capacity (e.g. after a node failure/repair).
+
+        Existing entries are left in place; use
+        :meth:`overcommitment_at` to discover windows that no longer
+        fit, and let the adaptation layer decide what to squeeze.
+        """
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[SlotEntry]:
+        """All booked entries (a copy), ordered by start time."""
+        return sorted(self._entries.values(), key=lambda e: (e.start, e.entry_id))
+
+    def entries_at(self, time: float) -> List[SlotEntry]:
+        """Entries whose window covers ``time``."""
+        return [entry for entry in self.entries() if entry.active_at(time)]
+
+    def usage_at(self, time: float) -> ResourceVector:
+        """Total demand booked at an instant."""
+        total = ResourceVector.zero()
+        for entry in self._entries.values():
+            if entry.active_at(time):
+                total = total + entry.demand
+        return total
+
+    def _event_points(self, start: float, end: float) -> List[float]:
+        points = {start}
+        for entry in self._entries.values():
+            if entry.overlaps(start, end) and entry.start > start:
+                points.add(entry.start)
+        return sorted(points)
+
+    def peak_usage(self, start: float, end: float) -> ResourceVector:
+        """Component-wise maximum booked demand over ``[start, end)``."""
+        peak = ResourceVector.zero()
+        for point in self._event_points(start, end):
+            peak = peak.component_max(self.usage_at(point))
+        return peak
+
+    def available(self, start: float, end: float) -> ResourceVector:
+        """Capacity not yet booked anywhere in ``[start, end)``."""
+        return self._capacity - self.peak_usage(start, end)
+
+    def can_reserve(self, demand: ResourceVector, start: float,
+                    end: float) -> bool:
+        """Whether ``demand`` fits throughout ``[start, end)``."""
+        if end <= start:
+            return False
+        return demand.fits_within(self.available(start, end))
+
+    def overcommitment_at(self, time: float) -> ResourceVector:
+        """Booked demand in excess of capacity at ``time`` (zero if none)."""
+        return self.usage_at(time) - self._capacity
+
+    def utilization_at(self, time: float) -> float:
+        """CPU-component utilization in ``[0, 1]`` (0 if no CPU capacity)."""
+        if self._capacity.cpu <= 0:
+            return 0.0
+        return min(1.0, self.usage_at(time).cpu / self._capacity.cpu)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def reserve(self, demand: ResourceVector, start: float, end: float, *,
+                label: str = "", force: bool = False) -> SlotEntry:
+        """Book ``demand`` over ``[start, end)``.
+
+        Args:
+            force: Book even when the table lacks headroom. The
+                adaptation layer uses this when it has decided to
+                overcommit knowingly (it immediately squeezes someone
+                else); ordinary admission never forces.
+
+        Raises:
+            CapacityError: When the demand does not fit and ``force``
+                is false.
+        """
+        if end <= start:
+            raise CapacityError(
+                f"empty reservation window [{start}, {end})")
+        if not force and not self.can_reserve(demand, start, end):
+            free = self.available(start, end)
+            raise CapacityError(
+                f"demand {demand} exceeds free capacity {free} over "
+                f"[{start}, {end})")
+        entry = SlotEntry(entry_id=next(_entry_counter), demand=demand,
+                          start=start, end=end, label=label)
+        self._entries[entry.entry_id] = entry
+        return entry
+
+    def release(self, entry: SlotEntry) -> None:
+        """Remove a booked entry.
+
+        Raises:
+            ReservationNotFound: When the entry is not in the table.
+        """
+        if entry.entry_id not in self._entries:
+            raise ReservationNotFound(
+                f"slot entry {entry.entry_id} is not booked")
+        del self._entries[entry.entry_id]
+
+    def resize(self, entry: SlotEntry, demand: ResourceVector, *,
+               force: bool = False) -> SlotEntry:
+        """Replace an entry's demand (GARA's *modify* primitive).
+
+        The old booking is removed before the fit test, so shrinking
+        always succeeds and growing only needs the delta.
+
+        Raises:
+            ReservationNotFound: When the entry is not in the table.
+            CapacityError: When the new demand does not fit (the old
+                booking is restored).
+        """
+        self.release(entry)
+        try:
+            return self.reserve(demand, entry.start, entry.end,
+                                label=entry.label, force=force)
+        except CapacityError:
+            self._entries[entry.entry_id] = entry
+            raise
+
+    def truncate(self, entry: SlotEntry, end: float) -> SlotEntry:
+        """Shorten an entry's window (early release at ``end``)."""
+        if entry.entry_id not in self._entries:
+            raise ReservationNotFound(
+                f"slot entry {entry.entry_id} is not booked")
+        del self._entries[entry.entry_id]
+        if end <= entry.start:
+            return entry
+        shortened = SlotEntry(entry_id=entry.entry_id, demand=entry.demand,
+                              start=entry.start, end=min(entry.end, end),
+                              label=entry.label)
+        self._entries[shortened.entry_id] = shortened
+        return shortened

@@ -1,0 +1,75 @@
+"""Degradation notifications.
+
+"When the network QoS degrades, the Network Resource Manager (NRM)
+notifies the SLA-Verif system of such degradation" (Section 3.2), and
+SLA-Verif "generates a notification of any QoS degradation of an
+agreed on QoS". The :class:`NotificationHub` is the pub/sub channel
+those notices travel on; the AQoS broker subscribes and feeds
+Scenario 3 adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sla.violations import ConformanceReport
+
+
+@dataclass(frozen=True)
+class DegradationNotice:
+    """One degradation event.
+
+    Attributes:
+        sla_id: The affected session.
+        time: When the degradation was detected.
+        source: Which component raised it (``"nrm"``, ``"sla-verif"``,
+            ``"compute"``).
+        report: The conformance report that triggered the notice, when
+            one exists.
+        detail: Human-readable description.
+    """
+
+    sla_id: int
+    time: float
+    source: str
+    report: Optional[ConformanceReport] = None
+    detail: str = ""
+
+    @property
+    def severity(self) -> float:
+        """Worst violation severity carried by the notice (0 if none)."""
+        if self.report is None:
+            return 0.0
+        worst = self.report.worst()
+        return worst.severity if worst is not None else 0.0
+
+
+#: Subscriber callback.
+Subscriber = Callable[[DegradationNotice], None]
+
+
+class NotificationHub:
+    """A synchronous pub/sub hub for degradation notices."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+        self._log: List[DegradationNotice] = []
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a subscriber; every publish reaches all of them."""
+        self._subscribers.append(subscriber)
+
+    def publish(self, notice: DegradationNotice) -> None:
+        """Deliver a notice to every subscriber (and retain it)."""
+        self._log.append(notice)
+        for subscriber in list(self._subscribers):
+            subscriber(notice)
+
+    def log(self) -> List[DegradationNotice]:
+        """All notices ever published (a copy)."""
+        return list(self._log)
+
+    def for_sla(self, sla_id: int) -> List[DegradationNotice]:
+        """Notices concerning one SLA."""
+        return [notice for notice in self._log if notice.sla_id == sla_id]

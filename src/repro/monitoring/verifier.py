@@ -1,0 +1,185 @@
+"""SLA-Verif: the conformance-verification component of the AQoS.
+
+"In the AQoS broker, the verification can be accomplished by a SLA
+conformance test on an explicit request by the client/application. ...
+The AQoS does not constantly monitor the QoS levels of the allocated
+resources; rather it relies on the SLA-Verif component" (Section 3.2).
+
+The verifier:
+
+* runs an on-demand conformance test for one SLA, assembling measured
+  values from the sensors registered for the session and producing the
+  Table 3 XML reply;
+* optionally polls periodically ("the SLA-Verif uses the Java CoG Kit
+  MDS APIs to periodically retrieve QoS data");
+* publishes a :class:`~repro.monitoring.notifications.DegradationNotice`
+  whenever a test finds violations;
+* receives NRM degradation callbacks and republishes them against the
+  owning SLA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+from xml.etree import ElementTree as ET
+
+from ..errors import MonitoringError
+from ..network.nrm import FlowAllocation, NetworkMeasurement
+from ..qos.parameters import Dimension
+from ..sim.engine import Simulator
+from ..sim.trace import TraceRecorder
+from ..sla.repository import SLARepository
+from ..sla.violations import (
+    ConformanceReport,
+    MeasuredQoS,
+    check_conformance,
+)
+from .mds import InformationService
+from .notifications import DegradationNotice, NotificationHub
+from .sensors import Sensor
+
+
+class SlaVerifier:
+    """The SLA-Verif component.
+
+    Args:
+        sim: Simulation engine.
+        mds: Information service holding the sensors.
+        repository: The SLA repository to verify against.
+        hub: Where degradation notices are published.
+        trace: Optional activity recorder.
+        tolerance: Relative slack before a shortfall is a violation.
+    """
+
+    def __init__(self, sim: Simulator, mds: InformationService,
+                 repository: SLARepository, hub: NotificationHub, *,
+                 trace: Optional[TraceRecorder] = None,
+                 tolerance: float = 0.05) -> None:
+        self._sim = sim
+        self._mds = mds
+        self._repository = repository
+        self._hub = hub
+        self._trace = trace
+        self.tolerance = tolerance
+        #: sensor names attached per SLA id
+        self._session_sensors: Dict[int, List[str]] = {}
+        self._poll_event = None
+        self.tests_run = 0
+
+    # ------------------------------------------------------------------
+    # Session wiring
+    # ------------------------------------------------------------------
+
+    def attach_sensor(self, sla_id: int, sensor: Sensor) -> None:
+        """Associate a sensor with a session (registers it in MDS)."""
+        if sensor.name not in self._mds.sensor_names():
+            self._mds.register(sensor)
+        self._session_sensors.setdefault(sla_id, []).append(sensor.name)
+
+    def detach_session(self, sla_id: int) -> None:
+        """Drop a finished session's sensors."""
+        for name in self._session_sensors.pop(sla_id, []):
+            self._mds.unregister(name)
+
+    # ------------------------------------------------------------------
+    # Conformance testing
+    # ------------------------------------------------------------------
+
+    def measure(self, sla_id: int) -> MeasuredQoS:
+        """Assemble the measured values for a session from its sensors.
+
+        Raises:
+            MonitoringError: When the session has no sensors attached.
+        """
+        names = self._session_sensors.get(sla_id)
+        if not names:
+            raise MonitoringError(
+                f"no sensors attached for SLA {sla_id}")
+        values: Dict[Dimension, float] = {}
+        for name in names:
+            reading = self._mds.query(name)
+            values.update(reading.values)
+        return MeasuredQoS(sla_id=sla_id, values=values, time=self._sim.now)
+
+    def conformance_test(self, sla_id: int) -> ConformanceReport:
+        """Run one conformance test (the explicit client request path)."""
+        sla = self._repository.get(sla_id)
+        measured = self.measure(sla_id)
+        report = check_conformance(sla, measured, tolerance=self.tolerance)
+        self.tests_run += 1
+        if self._trace is not None:
+            verdict = ("conformant" if report.conformant
+                       else f"{len(report.violations)} violation(s)")
+            self._trace.record(self._sim.now, "sla-verif",
+                               f"conformance test SLA {sla_id}: {verdict}")
+        if not report.conformant:
+            self._hub.publish(DegradationNotice(
+                sla_id=sla_id, time=self._sim.now, source="sla-verif",
+                report=report,
+                detail=f"conformance test found "
+                       f"{len(report.violations)} violation(s)"))
+        return report
+
+    def conformance_reply_xml(self, sla_id: int) -> ET.Element:
+        """Run a test and encode the Table 3 ``<QoS_Levels>`` reply."""
+        from ..xmlmsg.codec import encode_qos_levels
+        sla = self._repository.get(sla_id)
+        measured = self.measure(sla_id)
+        self.tests_run += 1
+        return encode_qos_levels(sla, measured)
+
+    # ------------------------------------------------------------------
+    # Periodic polling
+    # ------------------------------------------------------------------
+
+    def start_polling(self, interval: float) -> None:
+        """Begin periodic conformance tests over all monitored sessions."""
+        if interval <= 0:
+            raise MonitoringError(f"poll interval must be positive: {interval}")
+        if self._poll_event is not None:
+            return
+
+        def poll() -> None:
+            self._poll_event = None
+            for sla_id in list(self._session_sensors):
+                sla = self._repository.get(sla_id)
+                if sla.status.is_live and sla.service_class.monitored:
+                    self.conformance_test(sla_id)
+            self._poll_event = self._sim.schedule(interval, poll,
+                                                  label="sla-verif:poll")
+
+        self._poll_event = self._sim.schedule(interval, poll,
+                                              label="sla-verif:poll")
+
+    def stop_polling(self) -> None:
+        """Stop the periodic tests."""
+        if self._poll_event is not None:
+            self._sim.cancel(self._poll_event)
+            self._poll_event = None
+
+    # ------------------------------------------------------------------
+    # NRM callback path
+    # ------------------------------------------------------------------
+
+    def on_network_degradation(self, sla_id_for_flow) -> "callable":
+        """Build the NRM degradation listener.
+
+        Args:
+            sla_id_for_flow: Mapping function ``flow -> sla_id`` (or
+                ``None`` when the flow belongs to no monitored SLA).
+        """
+        def listener(flow: FlowAllocation,
+                     measurement: NetworkMeasurement) -> None:
+            sla_id = sla_id_for_flow(flow)
+            if sla_id is None:
+                return
+            self._hub.publish(DegradationNotice(
+                sla_id=sla_id, time=self._sim.now, source="nrm",
+                detail=f"flow {flow.flow_id} delivering "
+                       f"{measurement.bandwidth_mbps:g} of "
+                       f"{flow.bandwidth_mbps:g} Mbps"))
+            if self._trace is not None:
+                self._trace.record(
+                    self._sim.now, "sla-verif",
+                    f"NRM degradation notice for SLA {sla_id}")
+        return listener

@@ -1,0 +1,127 @@
+"""Stochastic link-congestion injection.
+
+The adaptation scheme exists because "workload or network traffic
+changes in unpredictable ways during an active session" (abstract).
+The :class:`CongestionInjector` provides the network half of that
+unpredictability: congestion episodes strike random links with
+exponential inter-arrival times, squeeze the link's usable capacity by
+a random factor for a random duration, then clear. Every squeeze goes
+through :meth:`NetworkResourceManager.set_congestion`, so degraded
+flows raise the same NRM→SLA-Verif notifications a real bandwidth
+broker would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.random import RandomSource
+from ..sim.trace import TraceRecorder
+from .nrm import NetworkResourceManager
+from .topology import Link
+
+
+@dataclass(frozen=True)
+class CongestionEpisode:
+    """One injected episode (for post-run inspection)."""
+
+    link_key: "Tuple[str, str]"
+    start: float
+    end: float
+    factor: float
+
+
+class CongestionInjector:
+    """Random congestion episodes over one NRM's links.
+
+    Args:
+        sim: Simulation engine.
+        nrm: The bandwidth broker whose links are congested.
+        links: The candidate links (defaults to every link the NRM's
+            domain owns in the topology).
+        rng: Seeded random source (use a dedicated stream).
+        mtbc: Mean time between congestion episodes.
+        mean_duration: Mean episode length.
+        severity: ``(low, high)`` uniform range for the congestion
+            factor applied (0.3 = 70% capacity loss).
+        trace: Optional activity recorder.
+    """
+
+    def __init__(self, sim: Simulator, nrm: NetworkResourceManager, *,
+                 links: Optional[List[Link]] = None,
+                 rng: Optional[RandomSource] = None,
+                 mtbc: float = 100.0, mean_duration: float = 30.0,
+                 severity: "Tuple[float, float]" = (0.3, 0.8),
+                 trace: Optional[TraceRecorder] = None) -> None:
+        if mtbc <= 0 or mean_duration <= 0:
+            raise ValueError("mtbc and mean_duration must be positive")
+        low, high = severity
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError(f"severity range out of (0, 1]: {severity}")
+        self._sim = sim
+        self._nrm = nrm
+        if links is None:
+            topology = nrm._topology  # noqa: SLF001 — same package
+            links = [link for link in topology.links()
+                     if link.owner_domain == nrm.domain]
+        if not links:
+            raise ValueError("no candidate links to congest")
+        self._links = list(links)
+        self._rng = rng if rng is not None else RandomSource(0)
+        self.mtbc = mtbc
+        self.mean_duration = mean_duration
+        self.severity = severity
+        self._trace = trace
+        self._congested: "set[Tuple[str, str]]" = set()
+        self.episodes: List[CongestionEpisode] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin injecting congestion episodes."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop injecting (active episodes still clear)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self._rng.exponential(self.mtbc)
+        self._sim.schedule(delay, self._strike,
+                           label=f"congestion:{self._nrm.domain}")
+
+    def _strike(self) -> None:
+        if not self._running:
+            return
+        candidates = [link for link in self._links
+                      if link.key not in self._congested]
+        if candidates:
+            link = self._rng.choice(candidates)
+            factor = self._rng.uniform(*self.severity)
+            duration = self._rng.exponential(self.mean_duration)
+            self._congested.add(link.key)
+            self._nrm.set_congestion(link.a, link.b, factor)
+            self.episodes.append(CongestionEpisode(
+                link_key=link.key, start=self._sim.now,
+                end=self._sim.now + duration, factor=factor))
+            if self._trace is not None:
+                self._trace.record(
+                    self._sim.now, "congestion",
+                    f"link {link.a}-{link.b} congested to "
+                    f"{factor:.0%} for {duration:.1f}")
+            self._sim.schedule(duration, lambda: self._clear(link),
+                               label=f"congestion:clear:{link.a}-{link.b}")
+        self._schedule_next()
+
+    def _clear(self, link: Link) -> None:
+        if link.key not in self._congested:
+            return
+        self._congested.discard(link.key)
+        self._nrm.set_congestion(link.a, link.b, 1.0)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "congestion",
+                               f"link {link.a}-{link.b} cleared")

@@ -1,0 +1,132 @@
+"""Inter-domain bandwidth coordination.
+
+"The NRM is also responsible for managing inter-domain communication
+with NRMs in neighboring domains, in order to coordinate SLAs across
+domain boundaries" (Section 2.1). The coordinator splits an end-to-end
+path into per-domain segments (cross-domain links are attributed to the
+upstream domain's NRM) and performs a two-phase reserve: every segment
+is booked, and if any NRM refuses, all prior bookings are rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import CapacityError, NetworkError
+from .nrm import FlowAllocation, NetworkResourceManager
+from .topology import Link, Topology
+
+
+@dataclass
+class EndToEndAllocation:
+    """A cross-domain bandwidth reservation: one flow per segment."""
+
+    source: str
+    destination: str
+    bandwidth_mbps: float
+    segments: "List[Tuple[NetworkResourceManager, FlowAllocation]]"
+    active: bool = True
+
+    def release(self) -> None:
+        """Tear down every segment."""
+        if not self.active:
+            return
+        self.active = False
+        for nrm, flow in self.segments:
+            nrm.release(flow)
+
+
+class InterDomainCoordinator:
+    """Coordinates end-to-end reservations across NRMs."""
+
+    def __init__(self, topology: Topology,
+                 nrms: "List[NetworkResourceManager]") -> None:
+        self._topology = topology
+        self._nrms: Dict[str, NetworkResourceManager] = {}
+        for nrm in nrms:
+            if nrm.domain in self._nrms:
+                raise NetworkError(
+                    f"duplicate NRM for domain {nrm.domain!r}")
+            self._nrms[nrm.domain] = nrm
+
+    def nrm_for(self, domain: str) -> NetworkResourceManager:
+        """The NRM managing a domain."""
+        nrm = self._nrms.get(domain)
+        if nrm is None:
+            raise NetworkError(f"no NRM registered for domain {domain!r}")
+        return nrm
+
+    def _segments(self, source: str, destination: str
+                  ) -> "List[Tuple[str, List[Link], str, str]]":
+        """Split the path into consecutive same-owner link runs.
+
+        Each segment is ``(owner_domain, links, seg_src, seg_dst)``.
+        Link ownership follows :attr:`Link.owner_domain` — cross-domain
+        links default to the upstream domain (DiffServ convention).
+        """
+        links = self._topology.path(source, destination)
+        if not links:
+            return []
+        # Re-derive the node order along the path.
+        nodes = [source]
+        for link in links:
+            nodes.append(link.b if nodes[-1] == link.a else link.a)
+        segments: List[Tuple[str, List[Link], str, str]] = []
+        run: List[Link] = [links[0]]
+        run_start = nodes[0]
+        for index in range(1, len(links)):
+            if links[index].owner_domain == run[-1].owner_domain:
+                run.append(links[index])
+            else:
+                segments.append((run[-1].owner_domain, run,
+                                 run_start, nodes[index]))
+                run_start = nodes[index]
+                run = [links[index]]
+        segments.append((run[-1].owner_domain, run, run_start, nodes[-1]))
+        return segments
+
+    def can_allocate(self, source: str, destination: str,
+                     bandwidth_mbps: float, start: float,
+                     end: float) -> bool:
+        """Whether every segment can carry the bandwidth."""
+        try:
+            for domain, links, _src, _dst in self._segments(source, destination):
+                nrm = self.nrm_for(domain)
+                if nrm.available_on_links(links, start, end) < bandwidth_mbps:
+                    return False
+        except NetworkError:
+            return False
+        return True
+
+    def allocate(self, source: str, destination: str,
+                 bandwidth_mbps: float, start: float,
+                 end: float) -> EndToEndAllocation:
+        """Two-phase end-to-end reservation.
+
+        Raises:
+            CapacityError: When any segment lacks the bandwidth; all
+                earlier segments are rolled back.
+        """
+        booked: List[Tuple[NetworkResourceManager, FlowAllocation]] = []
+        try:
+            for domain, links, seg_src, seg_dst in self._segments(
+                    source, destination):
+                nrm = self.nrm_for(domain)
+                flow = nrm.allocate_links(links, seg_src, seg_dst,
+                                          bandwidth_mbps, start, end)
+                booked.append((nrm, flow))
+        except (CapacityError, NetworkError):
+            for nrm, flow in booked:
+                nrm.release(flow)
+            raise
+        return EndToEndAllocation(source=source, destination=destination,
+                                  bandwidth_mbps=bandwidth_mbps,
+                                  segments=booked)
+
+    def measure(self, allocation: EndToEndAllocation) -> float:
+        """End-to-end delivered bandwidth (min across segments)."""
+        if not allocation.segments:
+            return allocation.bandwidth_mbps
+        return min(nrm.measure(flow).bandwidth_mbps
+                   for nrm, flow in allocation.segments)

@@ -1,0 +1,69 @@
+"""The three G-QoSM service classes (Section 5.1).
+
+* ``GUARANTEED`` — QoS pinned to exact pre-agreed values; enforced and
+  monitored; the provider commits to the exact SLA specification
+  (RFC 2212-style guaranteed service).
+* ``CONTROLLED_LOAD`` — QoS stated as ranges/lists; the provider must
+  deliver within the range and may move the operating point inside it
+  (RFC 2211-style controlled load). Only this class may carry
+  "promotion offers".
+* ``BEST_EFFORT`` — no SLA; any suitable resources found are returned.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ServiceClass(Enum):
+    """G-QoSM service delivery classes."""
+
+    GUARANTEED = "Guaranteed"
+    CONTROLLED_LOAD = "Controlled-load"
+    BEST_EFFORT = "Best-effort"
+
+    @property
+    def has_sla(self) -> bool:
+        """Whether requests of this class establish an SLA."""
+        return self is not ServiceClass.BEST_EFFORT
+
+    @property
+    def monitored(self) -> bool:
+        """Whether SLA-Verif monitors sessions of this class.
+
+        Section 2.1: adaptation techniques "are only applicable for
+        'guaranteed' QoS and 'controlled load' QoS levels".
+        """
+        return self is not ServiceClass.BEST_EFFORT
+
+    @property
+    def adjustable(self) -> bool:
+        """Whether the provider may move the delivered quality level.
+
+        Only controlled-load SLAs express acceptable ranges, so only
+        they participate in the Section 5.3 optimization heuristic.
+        """
+        return self is ServiceClass.CONTROLLED_LOAD
+
+    @property
+    def may_receive_promotions(self) -> bool:
+        """Whether promotion offers (Section 5.2) apply to this class."""
+        return self is ServiceClass.CONTROLLED_LOAD
+
+    @classmethod
+    def from_label(cls, label: str) -> "ServiceClass":
+        """Parse the XML ``<QoS_Class>`` label (case-insensitive)."""
+        normalized = label.strip().lower().replace("_", "-").replace(" ", "-")
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        aliases = {
+            "guaranteed-service": cls.GUARANTEED,
+            "controlled-load-service": cls.CONTROLLED_LOAD,
+            "controlledload": cls.CONTROLLED_LOAD,
+            "best-effort-service": cls.BEST_EFFORT,
+            "besteffort": cls.BEST_EFFORT,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        raise ValueError(f"unknown service class label: {label!r}")

@@ -1,0 +1,160 @@
+"""QoS Mapping: application-level metrics → resource-level QoS.
+
+Figure 3 lists *QoS Mapping* among the Establishment-phase functions,
+and the introduction motivates it: "although issues such as frame-rate
+or packet-jitter may be easily quantified, it is more difficult to do
+so in the context of Grid-based applications. There is thus a need to
+annotate Grid services with QoS related data". G-QoSM's phase 3
+("domain-specific QoS requirements for an application framework") is
+exactly this layer.
+
+An :class:`ApplicationProfile` declares, per application-level metric
+(``frames_per_second``, ``participants``, ``dataset_gb``, ...), how it
+translates into resource dimensions — affine coefficients per
+dimension plus optional fixed baseline demands. ``map_requirements``
+turns a dict of application metrics (scalars or ``(min, desired)``
+ranges) into the :class:`~repro.qos.specification.QoSSpecification`
+the broker negotiates with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple, Union
+
+from ..errors import QoSSpecificationError
+from .parameters import Dimension, exact_parameter, range_parameter
+from .specification import QoSSpecification
+
+#: An application metric value: a scalar (exact requirement) or a
+#: ``(minimum, desired)`` range.
+MetricValue = Union[float, Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class MetricRule:
+    """How one application metric consumes one resource dimension.
+
+    ``demand = coefficient * metric + offset``, rounded up for CPU.
+    """
+
+    dimension: Dimension
+    coefficient: float
+    offset: float = 0.0
+
+    def demand(self, metric: float) -> float:
+        """Resource demand implied by a metric value."""
+        value = self.coefficient * metric + self.offset
+        if value < 0:
+            raise QoSSpecificationError(
+                f"rule for {self.dimension.value} yields negative demand "
+                f"{value:g} at metric {metric:g}")
+        if self.dimension is Dimension.CPU:
+            return float(math.ceil(value - 1e-9))
+        return value
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """A named application type with its metric translation rules.
+
+    Attributes:
+        name: Profile name (e.g. ``"collaborative-visualization"``).
+        rules: ``metric name -> rules`` — one metric may consume
+            several dimensions.
+        baseline: Fixed demands added regardless of metrics (e.g. the
+            application server's own footprint).
+    """
+
+    name: str
+    rules: "Mapping[str, Tuple[MetricRule, ...]]"
+    baseline: "Mapping[Dimension, float]" = field(default_factory=dict)
+
+    def metrics(self) -> "Tuple[str, ...]":
+        """The application metrics this profile understands."""
+        return tuple(sorted(self.rules))
+
+    def map_requirements(self, requirements: "Mapping[str, MetricValue]"
+                         ) -> QoSSpecification:
+        """Translate application requirements into a QoS specification.
+
+        Scalar metrics produce exact parameters; ``(min, desired)``
+        ranges produce range parameters — i.e. a controlled-load-style
+        specification whose floor honours the minimum metric.
+
+        Raises:
+            QoSSpecificationError: On unknown metrics or inverted
+                ranges.
+        """
+        lows: Dict[Dimension, float] = dict(self.baseline)
+        highs: Dict[Dimension, float] = dict(self.baseline)
+        ranged = False
+        for metric, value in sorted(requirements.items()):
+            metric_rules = self.rules.get(metric)
+            if metric_rules is None:
+                raise QoSSpecificationError(
+                    f"profile {self.name!r} has no rule for metric "
+                    f"{metric!r} (knows: {', '.join(self.metrics())})")
+            if isinstance(value, tuple):
+                minimum, desired = value
+                if minimum > desired:
+                    raise QoSSpecificationError(
+                        f"metric {metric!r} range is inverted: "
+                        f"({minimum}, {desired})")
+                ranged = True
+            else:
+                minimum = desired = float(value)
+            for rule in metric_rules:
+                lows[rule.dimension] = lows.get(rule.dimension, 0.0) \
+                    + rule.demand(minimum)
+                highs[rule.dimension] = highs.get(rule.dimension, 0.0) \
+                    + rule.demand(desired)
+        # Baseline was seeded into both maps once; per-metric demands
+        # accumulated on top.
+        parameters = []
+        for dimension in sorted(lows, key=lambda d: d.value):
+            low = lows[dimension]
+            high = highs[dimension]
+            if not ranged or low == high:
+                parameters.append(exact_parameter(dimension, high))
+            else:
+                parameters.append(range_parameter(dimension, low, high))
+        return QoSSpecification.from_iterable(parameters)
+
+
+#: Ready-made profile for the paper's motivating application:
+#: "collaborative working and visualization" (abstract). Each
+#: participant adds a 5 Mbps stream slice; rendering needs one node
+#: per 4 fps plus 256 MB per node; datasets are staged to local disk.
+COLLABORATIVE_VISUALIZATION = ApplicationProfile(
+    name="collaborative-visualization",
+    rules={
+        "participants": (
+            MetricRule(Dimension.BANDWIDTH_MBPS, coefficient=5.0),
+        ),
+        "frames_per_second": (
+            MetricRule(Dimension.CPU, coefficient=0.25),
+            MetricRule(Dimension.MEMORY_MB, coefficient=64.0),
+        ),
+        "dataset_gb": (
+            MetricRule(Dimension.DISK_MB, coefficient=1024.0),
+        ),
+    },
+    baseline={Dimension.MEMORY_MB: 256.0},
+)
+
+#: Profile for a bulk data-transfer service (the site-B feed of the
+#: Section 5.6 experiment): throughput maps straight to bandwidth,
+#: plus a staging-disk footprint.
+DATA_TRANSFER = ApplicationProfile(
+    name="data-transfer",
+    rules={
+        "throughput_mbps": (
+            MetricRule(Dimension.BANDWIDTH_MBPS, coefficient=1.0),
+        ),
+        "staging_gb": (
+            MetricRule(Dimension.DISK_MB, coefficient=1024.0),
+        ),
+    },
+)

@@ -1,0 +1,100 @@
+"""Resource demand vectors.
+
+The adaptation algorithm reasons about "resource capacity", which the
+paper says "encompasses CPU, network and storage resources"
+(Section 5.4). A :class:`ResourceVector` is the common currency between
+the QoS layer (what a quality level demands), the GARA slot table (what
+a reservation holds) and the adaptation core (what a capacity pool can
+still supply).
+
+Vectors support element-wise arithmetic and the partial order
+``fits_within`` (every component less-or-equal). Components are:
+
+* ``cpu`` — processor nodes (integer-valued, stored as float for
+  arithmetic convenience; the compute RM enforces integrality).
+* ``memory_mb`` — megabytes of primary memory.
+* ``disk_mb`` — megabytes of disk.
+* ``bandwidth_mbps`` — megabits per second of network bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An element-wise non-negative resource quantity."""
+
+    cpu: float = 0.0
+    memory_mb: float = 0.0
+    disk_mb: float = 0.0
+    bandwidth_mbps: float = 0.0
+
+    _FIELDS = ("cpu", "memory_mb", "disk_mb", "bandwidth_mbps")
+
+    def __post_init__(self) -> None:
+        for name in self._FIELDS:
+            value = getattr(self, name)
+            if value < -_EPSILON:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The all-zero vector."""
+        return cls()
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(*(getattr(self, f) + getattr(other, f)
+                                for f in self._FIELDS))
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise difference, clamped at zero.
+
+        Clamping (rather than raising) matches how pools use
+        subtraction: "what remains after serving this demand".
+        Use :meth:`fits_within` first when over-subtraction matters.
+        """
+        return ResourceVector(*(max(0.0, getattr(self, f) - getattr(other, f))
+                                for f in self._FIELDS))
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """The vector multiplied component-wise by ``factor >= 0``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative: {factor}")
+        return ResourceVector(*(getattr(self, f) * factor
+                                for f in self._FIELDS))
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """Whether every component is <= the corresponding capacity."""
+        return all(getattr(self, f) <= getattr(capacity, f) + _EPSILON
+                   for f in self._FIELDS)
+
+    def component_max(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise maximum."""
+        return ResourceVector(*(max(getattr(self, f), getattr(other, f))
+                                for f in self._FIELDS))
+
+    def component_min(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise minimum."""
+        return ResourceVector(*(min(getattr(self, f), getattr(other, f))
+                                for f in self._FIELDS))
+
+    def is_zero(self) -> bool:
+        """Whether every component is (numerically) zero."""
+        return all(abs(getattr(self, f)) <= _EPSILON for f in self._FIELDS)
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """Whether this vector is >= ``other`` in every component."""
+        return other.fits_within(self)
+
+    def as_dict(self) -> "dict[str, float]":
+        """Plain-dict form for reports and serialization."""
+        return {f: getattr(self, f) for f in self._FIELDS}
+
+    def __str__(self) -> str:
+        parts = [f"{name}={getattr(self, name):g}" for name in self._FIELDS
+                 if getattr(self, name) > _EPSILON]
+        return "ResourceVector(" + (", ".join(parts) or "zero") + ")"

@@ -1,0 +1,21 @@
+"""UDDIe — the QoS-property-extended service registry.
+
+"To support discovery of services based on their properties, the UDDI
+registry has been extended as UDDIe — service users can now also
+specify particular service properties, such as QoS parameters, with
+which services are registered, and based on which services can
+subsequently be discovered" (Section 2.1).
+
+* :mod:`repro.registry.uddie` — the registry and its records.
+* :mod:`repro.registry.query` — the property-constraint query model.
+"""
+
+from .query import PropertyConstraint, ServiceQuery
+from .uddie import ServiceRecord, UddieRegistry
+
+__all__ = [
+    "PropertyConstraint",
+    "ServiceQuery",
+    "ServiceRecord",
+    "UddieRegistry",
+]

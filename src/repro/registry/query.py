@@ -1,0 +1,75 @@
+"""Queries against the UDDIe registry.
+
+A :class:`ServiceQuery` combines a name pattern, arbitrary property
+constraints (UDDIe's "blue pages" extension) and a QoS specification
+that a matching service's advertised capability must dominate.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..errors import RegistryError
+from ..qos.specification import QoSSpecification
+
+PropertyValue = Union[str, float, int, bool]
+
+_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class PropertyConstraint:
+    """One constraint over a registered service property."""
+
+    name: str
+    operator: str
+    value: PropertyValue
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise RegistryError(f"unknown operator {self.operator!r}")
+
+    def matches(self, offered: Optional[PropertyValue]) -> bool:
+        """Whether a service's property value satisfies the constraint."""
+        if offered is None:
+            return False
+        wanted = self.value
+        if isinstance(offered, (int, float)) and isinstance(wanted, (int, float)) \
+                and not isinstance(offered, bool) and not isinstance(wanted, bool):
+            comparisons = {
+                "=": offered == wanted,
+                "!=": offered != wanted,
+                "<": offered < wanted,
+                "<=": offered <= wanted,
+                ">": offered > wanted,
+                ">=": offered >= wanted,
+            }
+            return comparisons[self.operator]
+        if self.operator == "=":
+            return str(offered) == str(wanted)
+        if self.operator == "!=":
+            return str(offered) != str(wanted)
+        raise RegistryError(
+            f"operator {self.operator!r} needs numeric operands: "
+            f"{offered!r} vs {wanted!r}")
+
+
+@dataclass(frozen=True)
+class ServiceQuery:
+    """A discovery query.
+
+    Attributes:
+        name_pattern: Glob over service names (``"*"`` matches all).
+        constraints: Property constraints, all of which must hold.
+        qos: Optional QoS floor; a match's capability must dominate it.
+    """
+
+    name_pattern: str = "*"
+    constraints: "Tuple[PropertyConstraint, ...]" = ()
+    qos: Optional[QoSSpecification] = None
+
+    def matches_name(self, name: str) -> bool:
+        """Whether a service name matches the pattern."""
+        return fnmatch.fnmatchcase(name, self.name_pattern)

@@ -1,0 +1,195 @@
+"""DSRT — the Dynamic Soft Real-Time CPU scheduler (simulated).
+
+The paper integrates its broker "with the Dynamic Soft Real-Time (DSRT)
+scheduler [Chu & Nahrstedt] as the computation (CPU) scheduler". DSRT's
+distinguishing feature is *system-initiated adaptation*: processes hold
+CPU-time contracts, the scheduler observes their actual usage, and it
+adjusts contract parameters "to reserve just enough CPU time".
+
+The simulation keeps that contract model: processes register with a
+service class and a reserved CPU fraction; the scheduler records usage
+samples and, on each adjustment round, shrinks or grows contracts
+toward observed usage within the class's bounds. The compute RM calls
+the adjustment round periodically and treats the reclaimed fraction as
+locally-freed capacity (the paper's "resource management level"
+adaptation that runs *before* broker-level adaptation, Section 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..errors import CapacityError, ResourceError
+
+_pid_counter = itertools.count(5000)
+
+
+class CpuServiceClass(Enum):
+    """DSRT CPU service classes (after Chu & Nahrstedt)."""
+
+    PERIODIC = "periodic"          # strict periodic real-time
+    ADAPTIVE = "adaptive"          # usage-adjusted reservation
+    EVENT = "event"                # aperiodic with burst budget
+    BEST_EFFORT = "best-effort"    # no reservation
+
+
+@dataclass
+class DsrtContract:
+    """One process's CPU contract.
+
+    Attributes:
+        pid: Process ID.
+        service_class: DSRT CPU service class.
+        reserved_fraction: CPU fraction currently reserved (0..1 of one
+            node, scaled by ``nodes``).
+        nodes: How many nodes the process spans.
+        usage_samples: Recent observed usage fractions.
+    """
+
+    pid: int
+    service_class: CpuServiceClass
+    reserved_fraction: float
+    nodes: int = 1
+    usage_samples: List[float] = field(default_factory=list)
+
+    @property
+    def reserved_capacity(self) -> float:
+        """Reserved node-equivalents (fraction × nodes)."""
+        return self.reserved_fraction * self.nodes
+
+    def observed_usage(self) -> Optional[float]:
+        """Mean of the recent usage samples, or ``None`` when unsampled."""
+        if not self.usage_samples:
+            return None
+        return sum(self.usage_samples) / len(self.usage_samples)
+
+
+class DsrtScheduler:
+    """A DSRT instance scheduling one machine's CPU capacity.
+
+    Args:
+        node_count: Nodes available to the scheduler.
+        headroom: Safety margin kept above observed usage when the
+            adjustment round shrinks a contract (Chu et al. reserve
+            "just enough" — plus a small guard band).
+        min_fraction: Floor below which no contract is shrunk.
+        window: How many usage samples are retained per contract.
+    """
+
+    def __init__(self, node_count: int, *, headroom: float = 0.1,
+                 min_fraction: float = 0.05, window: int = 8) -> None:
+        if node_count <= 0:
+            raise ResourceError(f"node_count must be positive: {node_count}")
+        self.node_count = node_count
+        self.headroom = headroom
+        self.min_fraction = min_fraction
+        self.window = window
+        self._contracts: Dict[int, DsrtContract] = {}
+
+    # ------------------------------------------------------------------
+    # Contract management
+    # ------------------------------------------------------------------
+
+    def reserved_total(self) -> float:
+        """Total reserved node-equivalents across live contracts."""
+        return sum(c.reserved_capacity for c in self._contracts.values())
+
+    def free_capacity(self) -> float:
+        """Unreserved node-equivalents."""
+        return self.node_count - self.reserved_total()
+
+    def reserve(self, fraction: float, *, nodes: int = 1,
+                service_class: CpuServiceClass = CpuServiceClass.ADAPTIVE,
+                pid: Optional[int] = None) -> DsrtContract:
+        """Create a contract reserving ``fraction`` of each of ``nodes``.
+
+        Raises:
+            CapacityError: When the reservation exceeds free capacity.
+            ResourceError: On malformed arguments or duplicate pid.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ResourceError(f"fraction must be in (0, 1]: {fraction}")
+        if nodes < 1:
+            raise ResourceError(f"nodes must be >= 1: {nodes}")
+        demand = fraction * nodes
+        if demand > self.free_capacity() + 1e-9:
+            raise CapacityError(
+                f"DSRT reservation of {demand:g} node-equivalents exceeds "
+                f"free capacity {self.free_capacity():g}")
+        if pid is None:
+            pid = next(_pid_counter)
+        if pid in self._contracts:
+            raise ResourceError(f"pid {pid} already holds a DSRT contract")
+        contract = DsrtContract(pid=pid, service_class=service_class,
+                                reserved_fraction=fraction, nodes=nodes)
+        self._contracts[pid] = contract
+        return contract
+
+    def release(self, pid: int) -> None:
+        """Tear down a contract.
+
+        Raises:
+            ResourceError: When the pid holds no contract.
+        """
+        if pid not in self._contracts:
+            raise ResourceError(f"pid {pid} holds no DSRT contract")
+        del self._contracts[pid]
+
+    def contract(self, pid: int) -> DsrtContract:
+        """The live contract for ``pid``."""
+        found = self._contracts.get(pid)
+        if found is None:
+            raise ResourceError(f"pid {pid} holds no DSRT contract")
+        return found
+
+    def contracts(self) -> List[DsrtContract]:
+        """All live contracts (a copy)."""
+        return list(self._contracts.values())
+
+    # ------------------------------------------------------------------
+    # Usage-driven adjustment (DSRT's system-initiated adaptation)
+    # ------------------------------------------------------------------
+
+    def record_usage(self, pid: int, fraction: float) -> None:
+        """Record one observed usage sample for a process."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ResourceError(f"usage fraction out of [0, 1]: {fraction}")
+        contract = self.contract(pid)
+        contract.usage_samples.append(fraction)
+        del contract.usage_samples[:-self.window]
+
+    def adjust_contracts(self) -> Dict[int, float]:
+        """One adjustment round: move reservations toward observed usage.
+
+        Only ``ADAPTIVE`` contracts move. Shrinking is bounded below by
+        ``min_fraction``; growing is bounded by free capacity (greedy,
+        in pid order, so rounds are deterministic).
+
+        Returns:
+            ``pid -> new reserved_fraction`` for every contract changed.
+        """
+        changes: Dict[int, float] = {}
+        for pid in sorted(self._contracts):
+            contract = self._contracts[pid]
+            if contract.service_class is not CpuServiceClass.ADAPTIVE:
+                continue
+            usage = contract.observed_usage()
+            if usage is None:
+                continue
+            target = min(1.0, max(self.min_fraction,
+                                  usage * (1.0 + self.headroom)))
+            if abs(target - contract.reserved_fraction) < 1e-6:
+                continue
+            if target > contract.reserved_fraction:
+                grow = (target - contract.reserved_fraction) * contract.nodes
+                slack = self.free_capacity()
+                if slack <= 1e-9:
+                    continue
+                allowed = min(grow, slack) / contract.nodes
+                target = contract.reserved_fraction + allowed
+            contract.reserved_fraction = target
+            changes[pid] = target
+        return changes

@@ -1,0 +1,126 @@
+"""Failure and congestion injection.
+
+Algorithm 1 sizes the adaptive capacity ``Ca`` "based on the specified
+rate of resource failure or congestion provided by the system
+administrator". The injector provides that failure process for the
+synthetic experiments: node failures with exponential inter-arrival and
+repair times, and link-congestion episodes that temporarily scale a
+link's usable bandwidth.
+
+Deterministic one-shot schedules (:class:`FailureSchedule`) drive the
+Section 5.6 replay, where exactly three nodes fail at ``t3`` and
+recover at ``t4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.random import RandomSource
+from ..sim.trace import TraceRecorder
+from .machine import Machine
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A deterministic list of ``(time, node_delta)`` events.
+
+    Negative deltas fail nodes; positive deltas repair them.
+    """
+
+    events: "Tuple[Tuple[float, int], ...]"
+
+    @classmethod
+    def of(cls, *events: "Tuple[float, int]") -> "FailureSchedule":
+        """Build a schedule from ``(time, delta)`` pairs."""
+        return cls(events=tuple(sorted(events)))
+
+    def apply(self, sim: Simulator, machine: Machine) -> None:
+        """Schedule every event against ``machine`` on ``sim``."""
+        for time, delta in self.events:
+            if delta < 0:
+                count = -delta
+                sim.schedule_at(time, lambda c=count: machine.fail_nodes(c),
+                                label=f"fail:{machine.name}:{count}")
+            elif delta > 0:
+                sim.schedule_at(time, lambda: machine.repair_nodes(),
+                                label=f"repair:{machine.name}")
+
+
+class FailureInjector:
+    """Stochastic node-failure process for one machine.
+
+    Args:
+        sim: Simulation engine.
+        machine: Target machine.
+        rng: Seeded random source (use a dedicated stream).
+        mtbf: Mean time between failures (of any node).
+        mttr: Mean time to repair a failed node.
+        max_concurrent_failures: Cap on simultaneously-down nodes, so
+            the process cannot sink the whole machine.
+        trace: Optional activity recorder.
+    """
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 rng: RandomSource, *, mtbf: float, mttr: float,
+                 max_concurrent_failures: Optional[int] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        self._sim = sim
+        self._machine = machine
+        self._rng = rng
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.max_concurrent_failures = (
+            machine.total_nodes - 1 if max_concurrent_failures is None
+            else max_concurrent_failures)
+        self._trace = trace
+        self._down_ids: List[int] = []
+        self.failures_injected = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin injecting failures."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next_failure()
+
+    def stop(self) -> None:
+        """Stop injecting further failures (repairs still complete)."""
+        self._running = False
+
+    def _schedule_next_failure(self) -> None:
+        delay = self._rng.exponential(self.mtbf)
+        self._sim.schedule(delay, self._fail_one,
+                           label=f"injector:{self._machine.name}:failure")
+
+    def _fail_one(self) -> None:
+        if not self._running:
+            return
+        if (len(self._down_ids) < self.max_concurrent_failures
+                and self._machine.up_nodes() > 1):
+            failed_ids = self._machine.fail_nodes(1)
+            self._down_ids.extend(failed_ids)
+            self.failures_injected += 1
+            if self._trace is not None:
+                self._trace.record(self._sim.now, "failure",
+                                   f"{self._machine.name}: node failed "
+                                   f"({len(self._down_ids)} down)")
+            repair_delay = self._rng.exponential(self.mttr)
+            self._sim.schedule(repair_delay, self._repair_one,
+                               label=f"injector:{self._machine.name}:repair")
+        self._schedule_next_failure()
+
+    def _repair_one(self) -> None:
+        if not self._down_ids:
+            return
+        node_id = self._down_ids.pop(0)
+        repaired = self._machine.repair_nodes([node_id])
+        if repaired and self._trace is not None:
+            self._trace.record(self._sim.now, "failure",
+                               f"{self._machine.name}: node {node_id} "
+                               f"repaired ({len(self._down_ids)} down)")

@@ -1,0 +1,25 @@
+"""Globus RSL — the Resource Specification Language.
+
+"In the context of GARA, resource specifications are described in
+Globus Resource Specification Language (RSL) and used as the input
+parameters for reservation purposes" (Section 3.1). The Reservation
+System renders each reservation request as an RSL string and GARA
+parses it back, so the wire format the paper relied on is genuinely
+exercised.
+
+* :mod:`repro.rsl.ast` — relations and boolean expressions.
+* :mod:`repro.rsl.parser` — the tokenizer/recursive-descent parser.
+* :mod:`repro.rsl.builder` — helpers mapping resource vectors to RSL.
+"""
+
+from .ast import RSLExpression, RSLRelation
+from .builder import reservation_rsl, vector_from_rsl
+from .parser import parse_rsl
+
+__all__ = [
+    "RSLExpression",
+    "RSLRelation",
+    "parse_rsl",
+    "reservation_rsl",
+    "vector_from_rsl",
+]

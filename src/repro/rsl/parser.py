@@ -1,0 +1,190 @@
+"""Recursive-descent parser for the RSL subset GARA consumes.
+
+Grammar (whitespace-insensitive)::
+
+    specification := combinator clause+
+    combinator    := '&' | '|' | '+'
+    clause        := '(' specification ')'      -- nested expression
+                   | '(' relation ')'
+    relation      := attribute op value+
+    op            := '=' | '!=' | '<' | '<=' | '>' | '>='
+    value         := token | quoted | '(' value* ')'
+
+Multiple values after one operator form a list, matching Globus
+(``(arguments=a b c)``). Quoted strings use double quotes with ``""``
+as the escape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import RSLError
+from .ast import RSLExpression, RSLRelation, Value
+
+_COMBINATORS = "&|+"
+_OPERATOR_STARTS = "=!<>"
+
+
+class _Scanner:
+    """Character scanner with look-ahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_space()
+        if self.pos >= len(self.text):
+            return ""
+        return self.text[self.pos]
+
+    def take(self) -> str:
+        char = self.peek()
+        if char:
+            self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        got = self.take()
+        if got != char:
+            raise RSLError(
+                f"expected {char!r} at position {self.pos} "
+                f"of {self.text!r}, got {got!r}")
+
+    def at_end(self) -> bool:
+        self.skip_space()
+        return self.pos >= len(self.text)
+
+
+def parse_rsl(text: str) -> RSLExpression:
+    """Parse an RSL string into an :class:`RSLExpression`.
+
+    A bare relation list without a combinator (``(count=10)(memory=64)``)
+    is treated as a conjunction, matching common Globus usage.
+    """
+    scanner = _Scanner(text)
+    if scanner.at_end():
+        raise RSLError("empty RSL specification")
+    expression = _parse_expression(scanner)
+    if not scanner.at_end():
+        raise RSLError(
+            f"trailing input at position {scanner.pos} of {text!r}")
+    return expression
+
+
+def _parse_expression(scanner: _Scanner) -> RSLExpression:
+    char = scanner.peek()
+    if char in _COMBINATORS:
+        scanner.take()
+        operator = char
+    else:
+        operator = "&"
+    relations: List[RSLRelation] = []
+    children: List[RSLExpression] = []
+    saw_clause = False
+    while scanner.peek() == "(":
+        saw_clause = True
+        scanner.expect("(")
+        if scanner.peek() in _COMBINATORS:
+            children.append(_parse_expression(scanner))
+        else:
+            relations.append(_parse_relation(scanner))
+        scanner.expect(")")
+    if not saw_clause:
+        raise RSLError(
+            f"expected '(' at position {scanner.pos} of {scanner.text!r}")
+    return RSLExpression(operator=operator, relations=tuple(relations),
+                         children=tuple(children))
+
+
+def _parse_relation(scanner: _Scanner) -> RSLRelation:
+    attribute = _parse_token(scanner)
+    if not attribute:
+        raise RSLError(
+            f"expected attribute name at position {scanner.pos}")
+    operator = _parse_operator(scanner)
+    values: List[Value] = []
+    while True:
+        char = scanner.peek()
+        if char == ")" or char == "":
+            break
+        values.append(_parse_value(scanner))
+    if not values:
+        raise RSLError(f"relation {attribute!r} has no value")
+    value: Value = values[0] if len(values) == 1 else tuple(values)
+    return RSLRelation(attribute=attribute, operator=operator, value=value)
+
+
+def _parse_operator(scanner: _Scanner) -> str:
+    first = scanner.take()
+    if first not in _OPERATOR_STARTS:
+        raise RSLError(
+            f"expected operator at position {scanner.pos}, got {first!r}")
+    if first == "=":
+        return "="
+    second = ""
+    if scanner.pos < len(scanner.text) and scanner.text[scanner.pos] == "=":
+        scanner.pos += 1
+        second = "="
+    operator = first + second
+    if operator == "!":
+        raise RSLError("'!' must be followed by '='")
+    return operator
+
+
+def _parse_value(scanner: _Scanner) -> Value:
+    char = scanner.peek()
+    if char == "(":
+        scanner.expect("(")
+        items: List[Value] = []
+        while scanner.peek() != ")":
+            if scanner.peek() == "":
+                raise RSLError("unterminated value list")
+            items.append(_parse_value(scanner))
+        scanner.expect(")")
+        return tuple(items)
+    if char == '"':
+        return _parse_quoted(scanner)
+    token = _parse_token(scanner)
+    if token == "":
+        raise RSLError(f"expected a value at position {scanner.pos}")
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_quoted(scanner: _Scanner) -> str:
+    scanner.expect('"')
+    pieces: List[str] = []
+    text = scanner.text
+    while True:
+        if scanner.pos >= len(text):
+            raise RSLError("unterminated quoted string")
+        char = text[scanner.pos]
+        scanner.pos += 1
+        if char == '"':
+            # '""' is an escaped quote.
+            if scanner.pos < len(text) and text[scanner.pos] == '"':
+                pieces.append('"')
+                scanner.pos += 1
+                continue
+            return "".join(pieces)
+        pieces.append(char)
+
+
+def _parse_token(scanner: _Scanner) -> str:
+    scanner.skip_space()
+    start = scanner.pos
+    text = scanner.text
+    while scanner.pos < len(text):
+        char = text[scanner.pos]
+        if char.isspace() or char in "()\"" or char in _OPERATOR_STARTS:
+            break
+        scanner.pos += 1
+    return text[start:scanner.pos]

@@ -1,0 +1,104 @@
+"""Time-ordered event queue for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``: earlier times
+first, then lower priority numbers, then insertion order. The sequence
+tiebreak makes simulations fully deterministic — two events scheduled
+for the same instant always fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+#: Priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping that must run before normal events at an instant.
+PRIORITY_HIGH = -10
+#: Priority for sampling/metric events that must observe a settled instant.
+PRIORITY_LOW = 10
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulation time at which the event fires.
+        priority: Lower numbers fire first within the same instant.
+        seq: Insertion sequence number (engine-assigned tiebreak).
+        action: Zero-argument callable run when the event fires.
+        label: Human-readable tag for traces and debugging.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any]
+    label: str = ""
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> "tuple[float, int, int]":
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: "list[Event]" = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: float, action: Callable[[], Any], *,
+             priority: int = PRIORITY_NORMAL, label: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        event = Event(time=time, priority=priority,
+                      seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SimulationError: If the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

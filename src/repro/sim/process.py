@@ -1,0 +1,86 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`Timeout` objects;
+the engine resumes it when the timeout elapses. This is the natural way
+to express session workloads ("arrive, hold resources for d time units,
+depart") without hand-writing callback chains.
+
+Example::
+
+    def session(sim, broker):
+        yield Timeout(2.0)          # think time
+        sla = broker.request(...)
+        yield Timeout(sla.duration) # hold the allocation
+        broker.release(sla)
+
+    sim.spawn(session(sim, broker))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulation time units."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Process:
+    """A running generator process bound to a simulator.
+
+    The process starts when :meth:`start` is called (``Simulator.spawn``
+    does this) and finishes when the generator returns or raises
+    ``StopIteration``. Exceptions other than ``StopIteration`` propagate
+    out of the engine's ``run`` loop — a failed process fails the
+    simulation, loudly.
+    """
+
+    def __init__(self, sim, generator: Iterator, *, label: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.label = label
+        self.finished = False
+        self.result: Optional[Any] = None
+        self._pending_event = None
+
+    def start(self) -> None:
+        """Schedule the first resumption at the current instant."""
+        self._pending_event = self._sim.schedule(
+            0.0, self._resume, label=self.label and f"{self.label}:start")
+
+    def interrupt(self) -> None:
+        """Stop the process before its next resumption."""
+        if self._pending_event is not None:
+            self._sim.cancel(self._pending_event)
+            self._pending_event = None
+        if not self.finished:
+            self.finished = True
+            self._generator.close()
+
+    def _resume(self) -> None:
+        self._pending_event = None
+        if self.finished:
+            return
+        try:
+            yielded = next(self._generator)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            return
+        if not isinstance(yielded, Timeout):
+            raise SimulationError(
+                f"process {self.label or self._generator!r} yielded "
+                f"{yielded!r}; processes must yield Timeout objects")
+        self._pending_event = self._sim.schedule(
+            yielded.delay, self._resume,
+            label=self.label and f"{self.label}:resume")

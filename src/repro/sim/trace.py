@@ -1,0 +1,86 @@
+"""Structured trace recording.
+
+Experiments and the Figure 2 sequence-diagram reproduction need an
+auditable record of "who did what when". Components append
+:class:`TraceEntry` rows to a shared :class:`TraceRecorder`; the
+experiment harness renders them as the broker activity log (the paper's
+Figure 6 screenshot) or filters them for assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace row.
+
+    Attributes:
+        time: Simulation time of the action.
+        category: Coarse grouping, e.g. ``"negotiation"``, ``"gara"``.
+        message: Human-readable description.
+        details: Structured payload for programmatic assertions.
+    """
+
+    time: float
+    category: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """An append-only, filterable log of simulation activity."""
+
+    def __init__(self) -> None:
+        self._entries: List[TraceEntry] = []
+
+    def record(self, time: float, category: str, message: str,
+               **details: Any) -> TraceEntry:
+        """Append a row and return it."""
+        entry = TraceEntry(time=time, category=category,
+                           message=message, details=dict(details))
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        """All rows, in order (a copy; safe to mutate)."""
+        return list(self._entries)
+
+    def filter(self, category: Optional[str] = None,
+               contains: Optional[str] = None) -> List[TraceEntry]:
+        """Rows matching a category and/or a message substring."""
+        result = self._entries
+        if category is not None:
+            result = [entry for entry in result if entry.category == category]
+        if contains is not None:
+            result = [entry for entry in result if contains in entry.message]
+        return list(result)
+
+    def categories(self) -> List[str]:
+        """Distinct categories, in first-seen order."""
+        seen: "dict[str, None]" = {}
+        for entry in self._entries:
+            seen.setdefault(entry.category, None)
+        return list(seen)
+
+    def render(self, *, width: int = 78) -> str:
+        """Render the log as text (the Figure 6 'broker activities' view)."""
+        lines = []
+        for entry in self._entries:
+            prefix = f"[{entry.time:10.3f}] {entry.category:<14} "
+            body = entry.message
+            lines.append((prefix + body)[:width * 4])
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Drop all recorded rows."""
+        self._entries.clear()

@@ -1,0 +1,44 @@
+"""SLAs: documents, repository, negotiation, lifecycle, violations.
+
+"With the emerging interest in service-oriented Grids, resources may be
+advertised and traded as services based on a Service Level Agreement"
+(abstract). This package is the SLA half of G-QoSM:
+
+* :mod:`repro.sla.document` — the SLA document model (Tables 1 and 4),
+  including the adaptation options negotiated in advance (Section 5.2).
+* :mod:`repro.sla.repository` — "the AQoS establishes a final SLA
+  document and saves it in the SLA repository" (Section 3.1).
+* :mod:`repro.sla.negotiation` — the client/broker negotiation protocol.
+* :mod:`repro.sla.lifecycle` — the Establishment / Active / Clearing
+  phase machine of Figure 3.
+* :mod:`repro.sla.violations` — conformance checking and penalties.
+"""
+
+from .document import (
+    AdaptationOptions,
+    NetworkDemand,
+    ServiceSLA,
+    SlaStatus,
+)
+from .lifecycle import Phase, QoSFunction, QoSSession
+from .negotiation import Negotiation, NegotiationState, Offer, ServiceRequest
+from .repository import SLARepository
+from .violations import ConformanceReport, MeasuredQoS, Violation
+
+__all__ = [
+    "AdaptationOptions",
+    "ConformanceReport",
+    "MeasuredQoS",
+    "Negotiation",
+    "NegotiationState",
+    "NetworkDemand",
+    "Offer",
+    "Phase",
+    "QoSFunction",
+    "QoSSession",
+    "SLARepository",
+    "ServiceRequest",
+    "ServiceSLA",
+    "SlaStatus",
+    "Violation",
+]

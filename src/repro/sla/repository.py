@@ -1,0 +1,137 @@
+"""The SLA repository.
+
+"Once the proposed SLA is approved by the client/application, the AQoS
+establishes a final SLA document and saves it in the SLA repository for
+subsequent reference" (Section 3.1). The repository also hands out SLA
+ids (the paper's example conformance reply references ``SLA-ID 1055``)
+and answers the adaptation function's query for "the list of currently
+active services" (Scenario 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from ..errors import SLAError
+from ..qos.classes import ServiceClass
+from .document import ServiceSLA, SlaStatus
+
+
+class SLARepository:
+    """In-memory store of SLA documents.
+
+    Args:
+        first_id: First SLA id to assign (default 1000, so ids look
+            like the paper's 1055).
+    """
+
+    def __init__(self, first_id: int = 1000) -> None:
+        self._ids = itertools.count(first_id)
+        self._slas: Dict[int, ServiceSLA] = {}
+
+    def next_id(self) -> int:
+        """Allocate a fresh SLA id."""
+        return next(self._ids)
+
+    def save(self, sla: ServiceSLA) -> ServiceSLA:
+        """Store (or overwrite) an SLA document."""
+        self._slas[sla.sla_id] = sla
+        return sla
+
+    def get(self, sla_id: int) -> ServiceSLA:
+        """Look up an SLA by id.
+
+        Raises:
+            SLAError: When the id is unknown.
+        """
+        sla = self._slas.get(sla_id)
+        if sla is None:
+            raise SLAError(f"no SLA with id {sla_id}")
+        return sla
+
+    def __len__(self) -> int:
+        return len(self._slas)
+
+    def all(self) -> List[ServiceSLA]:
+        """Every stored SLA, ordered by id."""
+        return [self._slas[sla_id] for sla_id in sorted(self._slas)]
+
+    def live(self) -> List[ServiceSLA]:
+        """SLAs still governing resources (established or active)."""
+        return [sla for sla in self.all() if sla.status.is_live]
+
+    def active(self) -> List[ServiceSLA]:
+        """SLAs whose sessions are running."""
+        return [sla for sla in self.all() if sla.status is SlaStatus.ACTIVE]
+
+    def by_client(self, client: str) -> List[ServiceSLA]:
+        """All SLAs (any status) held by a client."""
+        return [sla for sla in self.all() if sla.client == client]
+
+    def by_class(self, service_class: ServiceClass,
+                 live_only: bool = True) -> List[ServiceSLA]:
+        """SLAs of one service class."""
+        slas = self.live() if live_only else self.all()
+        return [sla for sla in slas if sla.service_class is service_class]
+
+    def degradable(self) -> List[ServiceSLA]:
+        """Active SLAs whose adaptation options allow squeezing.
+
+        This is Scenario 1's filter: "the list is filtered to include
+        only those services whose SLAs indicate willingness to accept a
+        degraded QoS and/or termination of service".
+        """
+        return [sla for sla in self.active() if sla.adaptation.is_degradable]
+
+    def degraded(self) -> List[ServiceSLA]:
+        """Active SLAs currently delivering below their agreed point.
+
+        Scenario 2 upgrades these first when capacity frees up.
+        """
+        return [sla for sla in self.active() if sla.is_degraded()]
+
+    # ------------------------------------------------------------------
+    # Persistence ("saves it in the SLA repository for subsequent
+    # reference", Section 3.1) — documents round-trip through the
+    # Table 4 XML schema.
+    # ------------------------------------------------------------------
+
+    def export_xml(self) -> str:
+        """Serialize every stored SLA as one ``<SLA_Repository>``
+        document (statuses included)."""
+        from ..xmlmsg.codec import encode_service_sla
+        from ..xmlmsg.document import element, pretty_xml, subelement
+        root = element("SLA_Repository")
+        for sla in self.all():
+            entry = subelement(root, "Entry", status=sla.status.value)
+            entry.append(encode_service_sla(sla))
+        return pretty_xml(root)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "SLARepository":
+        """Rebuild a repository from :meth:`export_xml` output.
+
+        Statuses are restored verbatim; the id counter resumes after
+        the highest stored id.
+        """
+        from ..errors import MessageError
+        from ..xmlmsg.codec import decode_service_sla
+        from ..xmlmsg.document import parse_xml
+        root = parse_xml(text)
+        if root.tag != "SLA_Repository":
+            raise MessageError(
+                f"expected <SLA_Repository>, got <{root.tag}>")
+        repository = cls()
+        highest = 999
+        for entry in root.findall("Entry"):
+            documents = entry.findall("Service_SLA")
+            if len(documents) != 1:
+                raise MessageError(
+                    "<Entry> must hold exactly one <Service_SLA>")
+            sla = decode_service_sla(documents[0])
+            sla.status = SlaStatus(entry.get("status", "proposed"))
+            repository.save(sla)
+            highest = max(highest, sla.sla_id)
+        repository._ids = itertools.count(highest + 1)
+        return repository

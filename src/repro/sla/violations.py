@@ -1,0 +1,184 @@
+"""SLA conformance checking and violations.
+
+The SLA-Verif component performs "a SLA conformance test" comparing
+"the actual measured QoS levels to the previously agreed QoS (in the
+SLA)" (Section 3.2). :class:`MeasuredQoS` carries one measurement
+snapshot; :func:`check_conformance` produces a
+:class:`ConformanceReport` listing every :class:`Violation`.
+
+Conformance semantics per dimension:
+
+* capacity dimensions (CPU, memory, disk, bandwidth): measured must be
+  at least the *delivered* operating point the provider currently owes
+  (the adaptation layer may have legitimately moved a controlled-load
+  session below its agreed point — that is not a violation, provided
+  the point stays inside the SLA range);
+* bounded observations (packet loss, delay): measured must satisfy the
+  SLA's bound.
+
+A small relative tolerance absorbs measurement noise (Table 3 reports
+9.5 Mbps against a 10 Mbps SLA without raising an alarm, because the
+binding constraint there was the loss bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..qos.parameters import Dimension, Direction
+from .document import ServiceSLA
+
+#: Default relative slack before a capacity shortfall counts as a
+#: violation.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class MeasuredQoS:
+    """One measurement snapshot for a session.
+
+    Attributes:
+        sla_id: The measured session's SLA.
+        values: Measured value per dimension.
+        time: Measurement time.
+    """
+
+    sla_id: int
+    values: "Dict[Dimension, float]"
+    time: float = 0.0
+
+    def get(self, dimension: Dimension) -> Optional[float]:
+        """Measured value for a dimension, if present."""
+        return self.values.get(dimension)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One dimension out of conformance.
+
+    Attributes:
+        sla_id: The violated SLA.
+        dimension: Which dimension failed.
+        expected: What the SLA requires (delivered point or bound value).
+        measured: What was observed.
+        severity: Shortfall fraction in ``[0, 1]`` — 0.1 means 10%
+            below requirement. For bound violations on
+            lower-is-better dimensions it is the relative excess.
+    """
+
+    sla_id: int
+    dimension: Dimension
+    expected: float
+    measured: float
+    severity: float
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Result of one conformance test."""
+
+    sla_id: int
+    time: float
+    violations: "Tuple[Violation, ...]"
+    measured: MeasuredQoS
+
+    @property
+    def conformant(self) -> bool:
+        """Whether no violations were found."""
+        return not self.violations
+
+    def worst(self) -> Optional[Violation]:
+        """The most severe violation, or ``None`` when conformant."""
+        if not self.violations:
+            return None
+        return max(self.violations, key=lambda v: v.severity)
+
+
+def check_conformance(sla: ServiceSLA, measured: MeasuredQoS, *,
+                      tolerance: float = DEFAULT_TOLERANCE
+                      ) -> ConformanceReport:
+    """Compare a measurement snapshot against what the SLA owes now."""
+    violations: List[Violation] = []
+    for parameter in sla.specification:
+        dimension = parameter.dimension
+        observed = measured.get(dimension)
+        if observed is None:
+            continue
+        if dimension.consumes_capacity:
+            owed = sla.delivered_point.get(dimension)
+            if owed is None or owed <= 0:
+                continue
+            if observed < owed * (1.0 - tolerance):
+                violations.append(Violation(
+                    sla_id=sla.sla_id, dimension=dimension,
+                    expected=owed, measured=observed,
+                    severity=min(1.0, (owed - observed) / owed)))
+        else:
+            ceiling = sla.agreed_point.get(dimension)
+            if ceiling is None:
+                continue
+            if parameter.direction is Direction.LOWER_IS_BETTER \
+                    and observed > ceiling:
+                excess = ((observed - ceiling) / ceiling if ceiling > 0
+                          else 1.0)
+                violations.append(Violation(
+                    sla_id=sla.sla_id, dimension=dimension,
+                    expected=ceiling, measured=observed,
+                    severity=min(1.0, excess)))
+    violations.extend(_check_network_bounds(sla, measured))
+    # A dimension can fail both the spec check and the network-bound
+    # check; keep only the most severe finding per dimension.
+    by_dimension: "Dict[Dimension, Violation]" = {}
+    for violation in violations:
+        incumbent = by_dimension.get(violation.dimension)
+        if incumbent is None or violation.severity > incumbent.severity:
+            by_dimension[violation.dimension] = violation
+    deduped = tuple(sorted(by_dimension.values(),
+                           key=lambda v: v.dimension.value))
+    return ConformanceReport(sla_id=sla.sla_id, time=measured.time,
+                             violations=deduped, measured=measured)
+
+
+def _check_network_bounds(sla: ServiceSLA,
+                          measured: MeasuredQoS) -> List[Violation]:
+    """Check the Table 1 network bounds (loss / delay) when present."""
+    violations: List[Violation] = []
+    network = sla.network
+    if network is None:
+        return violations
+    loss = measured.get(Dimension.PACKET_LOSS)
+    if network.packet_loss_bound is not None and loss is not None:
+        bound = network.packet_loss_bound
+        if not bound.satisfied_by(loss):
+            excess = ((loss - bound.value) / bound.value
+                      if bound.value > 0 else 1.0)
+            violations.append(Violation(
+                sla_id=sla.sla_id, dimension=Dimension.PACKET_LOSS,
+                expected=bound.value, measured=loss,
+                severity=min(1.0, max(0.0, excess))))
+    delay = measured.get(Dimension.DELAY_MS)
+    if network.delay_bound_ms is not None and delay is not None:
+        if delay > network.delay_bound_ms:
+            ceiling = network.delay_bound_ms
+            excess = (delay - ceiling) / ceiling if ceiling > 0 else 1.0
+            violations.append(Violation(
+                sla_id=sla.sla_id, dimension=Dimension.DELAY_MS,
+                expected=ceiling, measured=delay,
+                severity=min(1.0, excess)))
+    return violations
+
+
+def violation_penalty(sla: ServiceSLA, report: ConformanceReport,
+                      duration: float, *,
+                      penalty_rate: float = 1.0) -> float:
+    """Monetary penalty for time spent in violation (Section 5.2 names
+    "SLA violation penalties" among the agreed terms).
+
+    The refund is proportional to the worst shortfall, the session's
+    price rate, the violated duration, and the policy's penalty rate.
+    """
+    worst = report.worst()
+    if worst is None or duration <= 0:
+        return 0.0
+    return sla.price_rate * worst.severity * duration * penalty_rate

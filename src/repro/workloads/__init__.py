@@ -1,0 +1,21 @@
+"""Synthetic workloads for the deferred quantitative evaluation.
+
+The paper evaluates qualitatively and "as a future topic ... planned to
+evaluate this adaptation technique"; the reproduction performs that
+evaluation with synthetic session workloads:
+
+* :mod:`repro.workloads.sessions` — session descriptions.
+* :mod:`repro.workloads.generators` — Poisson arrival processes with a
+  configurable class mix, demand distributions and load scaling.
+"""
+
+from .generators import WorkloadConfig, arrival_rate_for_load, generate_workload
+from .sessions import SessionSpec, Workload
+
+__all__ = [
+    "SessionSpec",
+    "Workload",
+    "WorkloadConfig",
+    "arrival_rate_for_load",
+    "generate_workload",
+]

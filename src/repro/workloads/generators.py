@@ -1,0 +1,153 @@
+"""Workload generation: Poisson arrivals with a configurable class mix.
+
+Sessions arrive as a Poisson process; durations are exponential;
+per-class CPU demands are uniform over configured ranges. The
+``class_mix`` reflects the paper's assumption that "a Grid environment
+contains users with different service requirements — i.e. users who
+are willing to pay different amounts" (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..qos.classes import ServiceClass
+from ..sim.random import RandomSource
+from .sessions import SessionSpec, Workload
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the synthetic workload.
+
+    Attributes:
+        horizon: Observation window length.
+        arrival_rate: Mean arrivals per time unit.
+        mean_duration: Mean session duration.
+        class_mix: ``(guaranteed, controlled_load, best_effort)``
+            weights.
+        guaranteed_cpu: ``(low, high)`` uniform demand range.
+        controlled_cpu_floor: ``(low, high)`` floor range; the best
+            point is the floor scaled by ``controlled_stretch``.
+        controlled_stretch: Best-to-floor CPU ratio for
+            controlled-load sessions.
+        best_effort_cpu: ``(low, high)`` uniform demand range.
+        degradable_fraction: Probability a controlled-load session
+            accepts degradation.
+        terminable_fraction: Probability a session accepts termination
+            for compensation.
+        promotion_fraction: Probability a controlled-load session
+            accepts promotion offers.
+    """
+
+    horizon: float = 1000.0
+    arrival_rate: float = 0.1
+    mean_duration: float = 80.0
+    class_mix: "Tuple[float, float, float]" = (0.3, 0.4, 0.3)
+    guaranteed_cpu: "Tuple[int, int]" = (2, 8)
+    controlled_cpu_floor: "Tuple[int, int]" = (1, 4)
+    controlled_stretch: float = 2.0
+    best_effort_cpu: "Tuple[int, int]" = (1, 6)
+    degradable_fraction: float = 0.7
+    terminable_fraction: float = 0.2
+    promotion_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive: {self.horizon}")
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be positive: {self.arrival_rate}")
+        if self.mean_duration <= 0:
+            raise ValueError(
+                f"mean_duration must be positive: {self.mean_duration}")
+        if len(self.class_mix) != 3 or min(self.class_mix) < 0 \
+                or sum(self.class_mix) <= 0:
+            raise ValueError(f"bad class_mix: {self.class_mix}")
+        for name in ("guaranteed_cpu", "controlled_cpu_floor",
+                     "best_effort_cpu"):
+            low, high = getattr(self, name)
+            if not 0 < low <= high:
+                raise ValueError(f"bad {name} range: ({low}, {high})")
+        if self.controlled_stretch < 1.0:
+            raise ValueError(
+                f"controlled_stretch must be >= 1: "
+                f"{self.controlled_stretch}")
+        for name in ("degradable_fraction", "terminable_fraction",
+                     "promotion_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")
+
+
+_CLASSES = (ServiceClass.GUARANTEED, ServiceClass.CONTROLLED_LOAD,
+            ServiceClass.BEST_EFFORT)
+
+
+def generate_workload(config: WorkloadConfig,
+                      rng: RandomSource) -> Workload:
+    """Draw a deterministic workload from the config and a seeded RNG."""
+    arrivals = rng.stream("arrivals")
+    classes = rng.stream("classes")
+    demands = rng.stream("demands")
+    options = rng.stream("options")
+    sessions: List[SessionSpec] = []
+    time = 0.0
+    session_id = 0
+    while True:
+        time += arrivals.exponential(1.0 / config.arrival_rate)
+        if time >= config.horizon:
+            break
+        session_id += 1
+        service_class = classes.weighted_choice(_CLASSES, config.class_mix)
+        duration = max(1.0, arrivals.exponential(config.mean_duration))
+        if service_class is ServiceClass.GUARANTEED:
+            cpu = float(demands.randint(*config.guaranteed_cpu))
+            floor = best = cpu
+        elif service_class is ServiceClass.CONTROLLED_LOAD:
+            floor = float(demands.randint(*config.controlled_cpu_floor))
+            best = max(floor, round(floor * config.controlled_stretch))
+        else:
+            cpu = float(demands.randint(*config.best_effort_cpu))
+            floor = best = cpu
+        sessions.append(SessionSpec(
+            session_id=session_id,
+            user=f"user-{session_id}",
+            service_class=service_class,
+            arrival=time,
+            duration=duration,
+            cpu_floor=floor,
+            cpu_best=best,
+            memory_mb=float(demands.randint(64, 512)),
+            accept_degradation=(
+                service_class is ServiceClass.CONTROLLED_LOAD
+                and options.probability(config.degradable_fraction)),
+            accept_termination=(
+                service_class is not ServiceClass.BEST_EFFORT
+                and options.probability(config.terminable_fraction)),
+            accept_promotion=(
+                service_class is ServiceClass.CONTROLLED_LOAD
+                and options.probability(config.promotion_fraction)),
+        ))
+    return Workload(sessions=tuple(sessions), horizon=config.horizon)
+
+
+def arrival_rate_for_load(load: float, capacity: float,
+                          config: WorkloadConfig) -> float:
+    """Arrival rate that offers ``load × capacity`` of CPU-time demand.
+
+    Offered load ``ρ = λ · E[duration] · E[cpu] / capacity``, so
+    ``λ = ρ · capacity / (E[duration] · E[cpu])``.
+    """
+    if load <= 0 or capacity <= 0:
+        raise ValueError("load and capacity must be positive")
+    weights = config.class_mix
+    total_weight = sum(weights)
+    mean_g = sum(config.guaranteed_cpu) / 2.0
+    floor_cl = sum(config.controlled_cpu_floor) / 2.0
+    mean_cl = (floor_cl + floor_cl * config.controlled_stretch) / 2.0
+    mean_be = sum(config.best_effort_cpu) / 2.0
+    mean_cpu = (weights[0] * mean_g + weights[1] * mean_cl
+                + weights[2] * mean_be) / total_weight
+    return load * capacity / (config.mean_duration * mean_cpu)

@@ -1,0 +1,37 @@
+"""XML messaging: all G-QoSM component interactions are XML messages.
+
+The paper's components exchange XML over SOAP/HTTP (Figure 5). The
+reproduction keeps the encoding — every SLA, offer and conformance
+report round-trips through real XML (Tables 1, 3, 4) — and replaces the
+socket with an in-process :class:`~repro.xmlmsg.bus.MessageBus` whose
+delivery can be delayed on the simulation clock.
+
+* :mod:`repro.xmlmsg.document` — small helpers over ``xml.etree``.
+* :mod:`repro.xmlmsg.envelope` — SOAP-style envelopes.
+* :mod:`repro.xmlmsg.bus` — the in-process transport.
+* :mod:`repro.xmlmsg.codec` — encoders/decoders for the paper's
+  message schemas.
+"""
+
+from .bus import Endpoint, MessageBus
+from .document import (
+    child_text,
+    element,
+    parse_xml,
+    pretty_xml,
+    require_child,
+    subelement,
+)
+from .envelope import Envelope
+
+__all__ = [
+    "Endpoint",
+    "Envelope",
+    "MessageBus",
+    "child_text",
+    "element",
+    "parse_xml",
+    "pretty_xml",
+    "require_child",
+    "subelement",
+]

@@ -1,0 +1,84 @@
+"""Thin helpers over ``xml.etree.ElementTree``.
+
+These keep the codec modules readable: building nested elements,
+requiring children by tag, and pretty-printing in the indented style of
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from xml.etree import ElementTree as ET
+
+from ..errors import MessageError
+
+
+def element(tag: str, text: Optional[str] = None,
+            **attributes: str) -> ET.Element:
+    """Create a root element with optional text and attributes."""
+    node = ET.Element(tag, dict(attributes))
+    if text is not None:
+        node.text = text
+    return node
+
+
+def subelement(parent: ET.Element, tag: str, text: Optional[str] = None,
+               **attributes: str) -> ET.Element:
+    """Create and attach a child element."""
+    node = ET.SubElement(parent, tag, dict(attributes))
+    if text is not None:
+        node.text = text
+    return node
+
+
+def parse_xml(text: str) -> ET.Element:
+    """Parse an XML document, wrapping parse failures in MessageError."""
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as error:
+        raise MessageError(f"malformed XML: {error}") from error
+
+
+def require_child(parent: ET.Element, tag: str) -> ET.Element:
+    """The unique child with ``tag``; raises MessageError when missing."""
+    node = parent.find(tag)
+    if node is None:
+        raise MessageError(
+            f"<{parent.tag}> is missing required child <{tag}>")
+    return node
+
+
+def child_text(parent: ET.Element, tag: str,
+               default: Optional[str] = None) -> str:
+    """Stripped text of the child with ``tag``.
+
+    Raises:
+        MessageError: When the child is absent (or has no text) and no
+            default was supplied.
+    """
+    node = parent.find(tag)
+    if node is None or node.text is None:
+        if default is not None:
+            return default
+        raise MessageError(
+            f"<{parent.tag}> is missing text child <{tag}>")
+    return node.text.strip()
+
+
+def pretty_xml(node: ET.Element, indent: str = "  ") -> str:
+    """Render an element tree with indentation (paper-table style)."""
+    _indent_in_place(node, indent, 0)
+    return ET.tostring(node, encoding="unicode")
+
+
+def _indent_in_place(node: ET.Element, indent: str, depth: int) -> None:
+    children = list(node)
+    if not children:
+        return
+    node.text = "\n" + indent * (depth + 1)
+    for index, child in enumerate(children):
+        _indent_in_place(child, indent, depth + 1)
+        if index == len(children) - 1:
+            child.tail = "\n" + indent * depth
+        else:
+            child.tail = "\n" + indent * (depth + 1)

@@ -1,0 +1,88 @@
+"""SOAP-style message envelopes.
+
+Clients "send XML messages to the AQoS broker using SOAP over HTTP"
+(Figure 5). An :class:`Envelope` carries routing metadata in a header
+and an arbitrary XML payload in its body; it serializes to a
+``<Envelope>`` document and parses back losslessly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+from xml.etree import ElementTree as ET
+
+from ..errors import MessageError
+from .document import child_text, element, parse_xml, pretty_xml, require_child, subelement
+
+_message_counter = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """A routed XML message.
+
+    Attributes:
+        sender: Logical endpoint name of the originator.
+        recipient: Logical endpoint name of the destination.
+        action: Operation name, e.g. ``"service_request"`` — the
+            SOAPAction equivalent.
+        body: The payload element.
+        message_id: Unique id, auto-assigned when omitted.
+        in_reply_to: The request's message id, for responses.
+        sent_at: Simulation time of sending (stamped by the bus).
+    """
+
+    sender: str
+    recipient: str
+    action: str
+    body: ET.Element
+    message_id: str = field(default_factory=lambda: f"msg-{next(_message_counter)}")
+    in_reply_to: Optional[str] = None
+    sent_at: Optional[float] = None
+
+    def reply(self, action: str, body: ET.Element) -> "Envelope":
+        """Construct a response envelope routed back to the sender."""
+        return Envelope(sender=self.recipient, recipient=self.sender,
+                        action=action, body=body,
+                        in_reply_to=self.message_id)
+
+    def to_xml(self) -> str:
+        """Serialize to an ``<Envelope>`` document."""
+        root = element("Envelope")
+        header = subelement(root, "Header")
+        subelement(header, "MessageID", self.message_id)
+        subelement(header, "Sender", self.sender)
+        subelement(header, "Recipient", self.recipient)
+        subelement(header, "Action", self.action)
+        if self.in_reply_to is not None:
+            subelement(header, "InReplyTo", self.in_reply_to)
+        if self.sent_at is not None:
+            subelement(header, "SentAt", f"{self.sent_at:g}")
+        body = subelement(root, "Body")
+        body.append(self.body)
+        return pretty_xml(root)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "Envelope":
+        """Parse an ``<Envelope>`` document."""
+        root = parse_xml(text)
+        if root.tag != "Envelope":
+            raise MessageError(f"expected <Envelope>, got <{root.tag}>")
+        header = require_child(root, "Header")
+        body = require_child(root, "Body")
+        payloads = list(body)
+        if len(payloads) != 1:
+            raise MessageError(
+                f"<Body> must hold exactly one payload, got {len(payloads)}")
+        sent_at_text = child_text(header, "SentAt", default="")
+        return cls(
+            sender=child_text(header, "Sender"),
+            recipient=child_text(header, "Recipient"),
+            action=child_text(header, "Action"),
+            body=payloads[0],
+            message_id=child_text(header, "MessageID"),
+            in_reply_to=child_text(header, "InReplyTo", default="") or None,
+            sent_at=float(sent_at_text) if sent_at_text else None,
+        )

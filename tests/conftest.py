@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPartition
+from repro.core.testbed import Testbed, build_testbed
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomSource
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    """A fresh trace recorder."""
+    return TraceRecorder()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def partition() -> CapacityPartition:
+    """The paper's Cg=15 / Ca=6 / Cb=5 partition."""
+    return CapacityPartition(15, 6, 5, best_effort_min=2)
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    """A fully wired single-domain testbed (Figure 5 shape)."""
+    return build_testbed()

@@ -1,0 +1,110 @@
+"""Tests for accounting (repro.core.accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import AccountingLedger
+
+
+class TestRevenueAccrual:
+    def test_constant_rate_session(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=2.0)
+        ledger.session_ended(1, time=10.0)
+        assert ledger.account(1).gross_revenue() == pytest.approx(20.0)
+
+    def test_open_session_valued_at_now(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=2.0)
+        assert ledger.account(1).gross_revenue(now=5.0) == \
+            pytest.approx(10.0)
+
+    def test_rate_change_splits_segments(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=2.0)
+        ledger.rate_changed(1, time=4.0, rate=1.0)  # degraded
+        ledger.rate_changed(1, time=8.0, rate=2.0)  # restored
+        ledger.session_ended(1, time=10.0)
+        # 4*2 + 4*1 + 2*2 = 16.
+        assert ledger.account(1).gross_revenue() == pytest.approx(16.0)
+
+    def test_session_end_is_idempotent_for_revenue(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=2.0)
+        ledger.session_ended(1, time=10.0)
+        assert ledger.account(1).gross_revenue(now=50.0) == \
+            pytest.approx(20.0)
+
+
+class TestPenalties:
+    def test_penalties_subtract_from_net(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=2.0)
+        ledger.add_penalty(1, time=5.0, amount=7.0, reason="violation")
+        ledger.session_ended(1, time=10.0)
+        assert ledger.account(1).net_revenue() == pytest.approx(13.0)
+
+    def test_zero_penalty_ignored(self):
+        ledger = AccountingLedger()
+        ledger.add_penalty(1, time=5.0, amount=0.0, reason="noop")
+        assert ledger.account(1).penalties == []
+
+
+class TestPromotions:
+    def test_offer_and_acceptance_counted(self):
+        ledger = AccountingLedger()
+        ledger.promotion_offered(1, accepted=True)
+        ledger.promotion_offered(1, accepted=False)
+        account = ledger.account(1)
+        assert account.promotions_offered == 2
+        assert account.promotions_accepted == 1
+
+
+class TestInvoices:
+    def test_invoice_lists_spans_penalties_and_net(self):
+        from repro.core.accounting import render_invoice
+        ledger = AccountingLedger()
+        ledger.session_started(1055, time=0.0, rate=2.0)
+        ledger.rate_changed(1055, time=4.0, rate=1.0)
+        ledger.add_penalty(1055, time=6.0, amount=3.0, reason="congestion")
+        ledger.promotion_offered(1055, accepted=True)
+        ledger.session_ended(1055, time=10.0)
+        text = render_invoice(ledger.account(1055), client="user1",
+                              service="simulation")
+        assert "Invoice — SLA 1055" in text
+        assert "user1" in text
+        assert "@    2.000" in text
+        assert "@    1.000" in text
+        assert "congestion" in text
+        assert "promotions: 1 offered, 1 accepted" in text
+        # gross 4*2 + 6*1 = 14, minus penalty 3 = 11.
+        assert "11.00" in text
+        assert "(session closed)" in text
+
+    def test_open_session_invoice_values_at_now(self):
+        from repro.core.accounting import render_invoice
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=3.0)
+        text = render_invoice(ledger.account(1), now=10.0)
+        assert "30.00" in text
+        assert "(session closed)" not in text
+
+
+class TestProviderAggregates:
+    def test_gross_and_net_across_sessions(self):
+        ledger = AccountingLedger()
+        ledger.session_started(1, time=0.0, rate=1.0)
+        ledger.session_started(2, time=0.0, rate=3.0)
+        ledger.add_penalty(2, time=1.0, amount=5.0, reason="x")
+        ledger.session_ended(1, time=10.0)
+        ledger.session_ended(2, time=10.0)
+        assert ledger.provider_gross() == pytest.approx(40.0)
+        assert ledger.provider_net() == pytest.approx(35.0)
+        assert ledger.total_penalties() == pytest.approx(5.0)
+
+    def test_accounts_ordered_by_sla_id(self):
+        ledger = AccountingLedger()
+        ledger.session_started(5, 0.0, 1.0)
+        ledger.session_started(2, 0.0, 1.0)
+        assert [a.sla_id for a in ledger.accounts()] == [2, 5]

@@ -1,0 +1,72 @@
+"""Tests for the allocation manager (repro.core.allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import AllocationManager
+from repro.core.reservation_system import CompositeReservation
+from repro.errors import SLAError
+from repro.sla.lifecycle import QoSSession
+
+
+class FakeFlow:
+    def __init__(self, flow_id):
+        self.flow_id = flow_id
+
+
+class TestSessions:
+    def test_open_get_close(self):
+        manager = AllocationManager()
+        resources = manager.open_session(1, QoSSession(session_id=1))
+        assert manager.get(1) is resources
+        assert manager.has(1)
+        manager.close_session(1)
+        assert not manager.has(1)
+
+    def test_duplicate_open_rejected(self):
+        manager = AllocationManager()
+        manager.open_session(1, QoSSession(session_id=1))
+        with pytest.raises(SLAError):
+            manager.open_session(1, QoSSession(session_id=1))
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(SLAError):
+            AllocationManager().get(9)
+
+    def test_close_unknown_rejected(self):
+        with pytest.raises(SLAError):
+            AllocationManager().close_session(9)
+
+    def test_open_sessions_ordered(self):
+        manager = AllocationManager()
+        manager.open_session(5, QoSSession(session_id=5))
+        manager.open_session(2, QoSSession(session_id=2))
+        assert [r.sla_id for r in manager.open_sessions()] == [2, 5]
+
+
+class TestFlowMapping:
+    def test_single_flow_booking(self):
+        manager = AllocationManager()
+        resources = manager.open_session(1, QoSSession(session_id=1))
+        composite = CompositeReservation(sla_id=1)
+        composite.network_booking = FakeFlow(77)
+        resources.reservation = composite
+        assert manager.sla_for_flow(FakeFlow(77)) == 1
+        assert manager.sla_for_flow(FakeFlow(78)) is None
+
+    def test_end_to_end_booking(self):
+        from repro.network.interdomain import EndToEndAllocation
+        manager = AllocationManager()
+        resources = manager.open_session(2, QoSSession(session_id=2))
+        composite = CompositeReservation(sla_id=2)
+        composite.network_booking = EndToEndAllocation(
+            source="a", destination="b", bandwidth_mbps=10.0,
+            segments=[(None, FakeFlow(31)), (None, FakeFlow(32))])
+        resources.reservation = composite
+        assert manager.sla_for_flow(FakeFlow(32)) == 2
+
+    def test_session_without_network(self):
+        manager = AllocationManager()
+        manager.open_session(3, QoSSession(session_id=3))
+        assert manager.sla_for_flow(FakeFlow(1)) is None

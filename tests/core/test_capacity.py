@@ -1,0 +1,237 @@
+"""Tests for the capacity partition (repro.core.capacity).
+
+This is Algorithm 1's engine; the invariants here are the paper's
+claims: guarantees are honored from ``Cg + Ca`` (+ ``Cb`` above the
+protected minimum) under failures, best-effort work soaks idle
+capacity, and capacity is conserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import CapacityPartition
+from repro.errors import AdmissionError
+
+
+class TestAdmission:
+    def test_admission_against_nominal_cg(self, partition):
+        assert partition.available_guaranteed_resource(15)
+        partition.admit_guaranteed("u1", 10)
+        assert partition.available_guaranteed_resource(5)
+        assert not partition.available_guaranteed_resource(6)
+
+    def test_over_commitment_rejected(self, partition):
+        partition.admit_guaranteed("u1", 10)
+        with pytest.raises(AdmissionError):
+            partition.admit_guaranteed("u2", 6)
+
+    def test_duplicate_user_rejected(self, partition):
+        partition.admit_guaranteed("u1", 5)
+        with pytest.raises(AdmissionError):
+            partition.admit_guaranteed("u1", 5)
+
+    def test_nonpositive_commitment_rejected(self, partition):
+        with pytest.raises(AdmissionError):
+            partition.admit_guaranteed("u1", 0)
+
+    def test_demand_for_unknown_user_rejected(self, partition):
+        with pytest.raises(AdmissionError):
+            partition.set_guaranteed_demand("ghost", 5)
+
+
+class TestTier1Guarantees:
+    def test_entitled_demand_served_from_cg(self, partition):
+        partition.admit_guaranteed("u1", 10)
+        report = partition.set_guaranteed_demand("u1", 10)
+        holding = partition.guaranteed_holding("u1")
+        assert holding.served == 10
+        assert holding.from_g == 10
+        assert report.guarantees_honored
+
+    def test_failure_triggers_adapt_from_ca(self, partition):
+        partition.admit_guaranteed("u1", 14)
+        partition.set_guaranteed_demand("u1", 14)
+        report = partition.apply_failure(3)  # Cg 15 -> 12
+        assert report.guarantees_honored
+        assert report.adapt_transfer == pytest.approx(2.0)
+        holding = partition.guaranteed_holding("u1")
+        assert holding.from_g == pytest.approx(12.0)
+        assert holding.from_a == pytest.approx(2.0)
+
+    def test_massive_failure_raids_cb_down_to_minimum(self, partition):
+        # best_effort_min=2 protects 2 of Cb's 5 units.
+        partition.admit_guaranteed("u1", 15)
+        partition.set_guaranteed_demand("u1", 15)
+        report = partition.apply_failure(15)  # Cg 15->0, Ca survives
+        holding = partition.guaranteed_holding("u1")
+        # 6 from Ca + 3 from Cb (5 minus the protected 2) = 9 served.
+        assert holding.from_a == pytest.approx(6.0)
+        assert holding.from_b == pytest.approx(3.0)
+        assert report.shortfalls["u1"] == pytest.approx(6.0)
+
+    def test_repair_restores_cg_sourcing(self, partition):
+        partition.admit_guaranteed("u1", 14)
+        partition.set_guaranteed_demand("u1", 14)
+        partition.apply_failure(3)
+        report = partition.apply_repair()
+        assert report.adapt_transfer == 0.0
+        assert partition.guaranteed_holding("u1").from_g == 14.0
+
+
+class TestTier2Excess:
+    def test_excess_served_from_adaptive_headroom(self, partition):
+        partition.admit_guaranteed("u1", 4)
+        partition.set_guaranteed_demand("u1", 9)  # 5 above commitment
+        holding = partition.guaranteed_holding("u1")
+        assert holding.served == 9.0
+        assert holding.entitled == 4.0
+
+    def test_excess_never_raids_protected_cb(self, partition):
+        partition.admit_guaranteed("u1", 15)
+        partition.set_guaranteed_demand("u1", 40)  # huge excess
+        holding = partition.guaranteed_holding("u1")
+        # 15 entitled + at most Ca=6 of excess; Cb untouched by tier 2.
+        assert holding.served == pytest.approx(21.0)
+
+    def test_excess_yields_to_other_guarantees(self, partition):
+        partition.admit_guaranteed("hog", 5)
+        partition.set_guaranteed_demand("hog", 20)  # soaks Cg + Ca
+        partition.admit_guaranteed("new", 10)
+        report = partition.set_guaranteed_demand("new", 10)
+        assert report.guarantees_honored
+        assert partition.guaranteed_holding("new").served == 10.0
+
+
+class TestTier3BestEffort:
+    def test_best_effort_soaks_idle_capacity(self, partition):
+        report = partition.set_best_effort_demand("be", 26)
+        assert partition.best_effort_holding("be").served == 26.0
+        assert partition.idle_capacity() == 0.0
+
+    def test_borrowed_capacity_is_preempted(self, partition):
+        partition.set_best_effort_demand("be", 26)
+        partition.admit_guaranteed("u1", 10)
+        report = partition.set_guaranteed_demand("u1", 10)
+        assert report.preempted.get("be") == pytest.approx(10.0)
+        assert partition.best_effort_holding("be").served == 16.0
+
+    def test_fcfs_among_best_effort(self, partition):
+        partition.set_best_effort_demand("first", 20)
+        partition.set_best_effort_demand("second", 20)
+        assert partition.best_effort_holding("first").served == 20.0
+        assert partition.best_effort_holding("second").served == 6.0
+
+    def test_zero_demand_removes_user(self, partition):
+        partition.set_best_effort_demand("be", 5)
+        partition.set_best_effort_demand("be", 0)
+        with pytest.raises(AdmissionError):
+            partition.best_effort_holding("be")
+
+
+class TestRemoval:
+    def test_removal_frees_capacity_for_borrowers(self, partition):
+        partition.admit_guaranteed("u1", 10)
+        partition.set_guaranteed_demand("u1", 10)
+        partition.set_best_effort_demand("be", 26)
+        assert partition.best_effort_holding("be").served == 16.0
+        partition.remove_guaranteed("u1")
+        assert partition.best_effort_holding("be").served == 26.0
+
+    def test_remove_unknown_rejected(self, partition):
+        with pytest.raises(AdmissionError):
+            partition.remove_guaranteed("ghost")
+
+
+class TestValidation:
+    def test_negative_pools_rejected(self):
+        with pytest.raises(AdmissionError):
+            CapacityPartition(-1, 6, 5)
+
+    def test_minimum_above_cb_rejected(self):
+        with pytest.raises(AdmissionError):
+            CapacityPartition(15, 6, 5, best_effort_min=6)
+
+    def test_bad_failure_order_rejected(self):
+        with pytest.raises(AdmissionError):
+            CapacityPartition(15, 6, 5, failure_order=("g", "g", "b"))
+
+    def test_failure_order_controls_absorption(self):
+        partition = CapacityPartition(15, 6, 5,
+                                      failure_order=("b", "a", "g"))
+        partition.apply_failure(7)
+        eff_g, eff_a, eff_b = partition.effective_sizes()
+        assert (eff_g, eff_a, eff_b) == (15.0, 4.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+commitments = st.lists(st.integers(min_value=1, max_value=6),
+                       min_size=0, max_size=4)
+demand_factors = st.lists(st.floats(min_value=0.0, max_value=3.0,
+                                    allow_nan=False),
+                          min_size=4, max_size=4)
+be_demands = st.lists(st.integers(min_value=0, max_value=30),
+                      min_size=0, max_size=3)
+failure_amounts = st.floats(min_value=0.0, max_value=26.0, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(commitments, demand_factors, be_demands, failure_amounts)
+def test_partition_invariants(commits, factors, bes, failed):
+    """Conservation + never-overallocate + floor protection, under any
+    mix of admissions, demands, borrowers and failures."""
+    partition = CapacityPartition(15, 6, 5, best_effort_min=2)
+    admitted = []
+    for index, commitment in enumerate(commits):
+        user = f"g{index}"
+        if partition.available_guaranteed_resource(commitment):
+            partition.admit_guaranteed(user, commitment)
+            admitted.append((user, commitment))
+    for (user, commitment), factor in zip(admitted, factors):
+        partition.set_guaranteed_demand(user, commitment * factor)
+    for index, demand in enumerate(bes):
+        partition.set_best_effort_demand(f"b{index}", demand)
+    partition.apply_failure(failed)
+    report = partition.rebalance()
+
+    effective_total = sum(partition.effective_sizes())
+    # 1. Never allocate more than effective capacity.
+    assert partition.total_served() <= effective_total + 1e-6
+    # 2. Conservation: served + idle == effective capacity when demand
+    #    saturates, and never exceeds it otherwise.
+    assert partition.total_served() + partition.idle_capacity() == \
+        pytest.approx(effective_total, abs=1e-6)
+    # 3. Nobody is served more than they demanded.
+    for holding in partition.guaranteed_holdings():
+        assert holding.served <= holding.demand + 1e-9
+        assert holding.from_g + holding.from_a + holding.from_b == \
+            pytest.approx(holding.served, abs=1e-9)
+    for holding in partition.best_effort_holdings():
+        assert holding.served <= holding.demand + 1e-9
+    # 4. Shortfalls only when the entitled total genuinely exceeds the
+    #    raidable capacity (everything but the protected Cb minimum).
+    entitled_total = sum(h.entitled for h in partition.guaranteed_holdings())
+    eff_g, eff_a, eff_b = partition.effective_sizes()
+    raidable = eff_g + eff_a + max(0.0, eff_b - min(2.0, eff_b))
+    if report.shortfalls:
+        assert entitled_total > raidable - 1e-6
+    else:
+        assert entitled_total <= raidable + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(failure_amounts)
+def test_failure_repair_round_trip(failed):
+    """A failure followed by full repair restores the initial state."""
+    partition = CapacityPartition(15, 6, 5, best_effort_min=2)
+    partition.admit_guaranteed("u", 10)
+    partition.set_guaranteed_demand("u", 10)
+    partition.set_best_effort_demand("b", 16)
+    before = partition.snapshot()
+    partition.apply_failure(failed)
+    partition.apply_repair()
+    assert partition.snapshot() == before

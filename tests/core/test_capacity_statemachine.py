@@ -1,0 +1,136 @@
+"""Stateful property test: the capacity partition under arbitrary
+operation sequences.
+
+A hypothesis rule-based state machine performs random interleavings of
+admissions, demand changes, removals, best-effort churn, failures and
+repairs, checking the Algorithm 1 invariants after every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.capacity import CapacityPartition
+
+CG, CA, CB, BE_MIN = 15.0, 6.0, 5.0, 2.0
+_EPSILON = 1e-6
+
+
+class PartitionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.partition = CapacityPartition(CG, CA, CB,
+                                           best_effort_min=BE_MIN)
+        self.guaranteed: dict = {}
+        self.best_effort: set = set()
+        self.counter = 0
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(committed=st.integers(min_value=1, max_value=8))
+    def admit(self, committed):
+        self.counter += 1
+        user = f"g{self.counter}"
+        if self.partition.available_guaranteed_resource(committed):
+            self.partition.admit_guaranteed(user, committed)
+            self.guaranteed[user] = committed
+        else:
+            with pytest.raises(Exception):
+                self.partition.admit_guaranteed(user, committed)
+
+    @precondition(lambda self: self.guaranteed)
+    @rule(factor=st.floats(min_value=0.0, max_value=2.5,
+                           allow_nan=False),
+          index=st.integers(min_value=0, max_value=10**6))
+    def set_demand(self, factor, index):
+        user = sorted(self.guaranteed)[index % len(self.guaranteed)]
+        self.partition.set_guaranteed_demand(
+            user, self.guaranteed[user] * factor)
+
+    @precondition(lambda self: self.guaranteed)
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def remove(self, index):
+        user = sorted(self.guaranteed)[index % len(self.guaranteed)]
+        self.partition.remove_guaranteed(user)
+        del self.guaranteed[user]
+
+    @rule(demand=st.integers(min_value=0, max_value=30))
+    def best_effort_churn(self, demand):
+        self.counter += 1
+        user = f"b{self.counter % 5}"
+        self.partition.set_best_effort_demand(user, demand)
+        if demand > 0:
+            self.best_effort.add(user)
+        else:
+            self.best_effort.discard(user)
+
+    @rule(amount=st.floats(min_value=0.0, max_value=26.0,
+                           allow_nan=False))
+    def fail(self, amount):
+        self.partition.apply_failure(amount)
+
+    @rule()
+    def repair_all(self):
+        self.partition.apply_repair()
+
+    # ------------------------------------------------------------------
+    # Invariants (checked after every rule)
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def never_overallocated(self):
+        effective = sum(self.partition.effective_sizes())
+        assert self.partition.total_served() <= effective + _EPSILON
+
+    @invariant()
+    def conservation(self):
+        effective = sum(self.partition.effective_sizes())
+        total = self.partition.total_served() \
+            + self.partition.idle_capacity()
+        assert total == pytest.approx(effective, abs=_EPSILON)
+
+    @invariant()
+    def served_never_exceeds_demand(self):
+        for holding in self.partition.guaranteed_holdings():
+            assert holding.served <= holding.demand + _EPSILON
+        for holding in self.partition.best_effort_holdings():
+            assert holding.served <= holding.demand + _EPSILON
+
+    @invariant()
+    def commitments_respect_cg(self):
+        assert self.partition.committed_total() <= CG + _EPSILON
+
+    @invariant()
+    def sourcing_adds_up(self):
+        for holding in self.partition.guaranteed_holdings():
+            total = holding.from_g + holding.from_a + holding.from_b
+            assert total == pytest.approx(holding.served, abs=_EPSILON)
+
+    @invariant()
+    def shortfall_only_when_physically_unavoidable(self):
+        report = self.partition.last_report
+        if report is None:
+            return
+        eff_g, eff_a, eff_b = self.partition.effective_sizes()
+        raidable = eff_g + eff_a + max(0.0, eff_b - min(BE_MIN, eff_b))
+        entitled = sum(h.entitled
+                       for h in self.partition.guaranteed_holdings())
+        if report.shortfalls:
+            assert entitled > raidable - _EPSILON
+        else:
+            assert entitled <= raidable + _EPSILON
+
+
+PartitionMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+TestPartitionStateMachine = PartitionMachine.TestCase

@@ -1,0 +1,140 @@
+"""Tests for the revenue optimizer (repro.core.optimizer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import (
+    candidates_for,
+    exact_optimize,
+    greedy_optimize,
+)
+from repro.errors import AdmissionError
+from repro.qos.classes import ServiceClass
+from repro.qos.cost import PricingPolicy
+from repro.qos.parameters import Dimension, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.qos.vector import ResourceVector
+
+
+def make_services(specs, levels=3):
+    policy = PricingPolicy()
+    services = {}
+    for index, (low, high) in enumerate(specs):
+        key = f"svc-{index}"
+        spec = QoSSpecification.of(range_parameter(Dimension.CPU, low, high))
+        services[key] = candidates_for(key, spec,
+                                       ServiceClass.CONTROLLED_LOAD,
+                                       policy, levels=levels)
+    return services
+
+
+class TestCandidates:
+    def test_floor_first_and_monotone(self):
+        services = make_services([(2, 8)], levels=4)
+        candidates = services["svc-0"]
+        assert candidates[0].level == 0
+        assert candidates[0].demand.cpu == 2
+        revenues = [c.revenue_rate for c in candidates]
+        assert revenues == sorted(revenues)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(AdmissionError):
+            greedy_optimize({"svc": []}, ResourceVector(cpu=10))
+
+
+class TestGreedy:
+    def test_everyone_at_best_when_capacity_abundant(self):
+        services = make_services([(2, 8), (1, 4)])
+        result = greedy_optimize(services, ResourceVector(cpu=100))
+        assert result.feasible
+        assert result.assignment["svc-0"].demand.cpu == 8
+        assert result.assignment["svc-1"].demand.cpu == 4
+
+    def test_everyone_at_floor_when_tight(self):
+        services = make_services([(2, 8), (3, 9)])
+        result = greedy_optimize(services, ResourceVector(cpu=5))
+        assert result.feasible
+        assert result.assignment["svc-0"].demand.cpu == 2
+        assert result.assignment["svc-1"].demand.cpu == 3
+
+    def test_infeasible_when_floors_do_not_fit(self):
+        services = make_services([(4, 8), (4, 8)])
+        result = greedy_optimize(services, ResourceVector(cpu=6))
+        assert not result.feasible
+
+    def test_capacity_respected(self):
+        services = make_services([(1, 10), (1, 10), (1, 10)])
+        result = greedy_optimize(services, ResourceVector(cpu=15))
+        assert result.used.cpu <= 15 + 1e-9
+
+    def test_revenue_spent_on_best_marginal_upgrade(self):
+        # svc-0 earns per CPU like svc-1, but svc-1 upgrades are larger;
+        # the greedy should still fill the budget.
+        services = make_services([(1, 5), (1, 9)], levels=3)
+        result = greedy_optimize(services, ResourceVector(cpu=10))
+        assert result.used.cpu == pytest.approx(10.0)
+
+
+class TestExact:
+    def test_exact_matches_greedy_on_easy_instance(self):
+        services = make_services([(2, 8), (1, 4)])
+        capacity = ResourceVector(cpu=100)
+        assert exact_optimize(services, capacity).revenue == \
+            pytest.approx(greedy_optimize(services, capacity).revenue)
+
+    def test_exact_beats_or_ties_greedy(self):
+        services = make_services([(1, 7), (2, 6), (1, 9)], levels=4)
+        capacity = ResourceVector(cpu=12)
+        exact = exact_optimize(services, capacity)
+        greedy = greedy_optimize(services, capacity)
+        assert exact.revenue >= greedy.revenue - 1e-9
+
+    def test_exact_infeasible_fallback(self):
+        services = make_services([(4, 8), (4, 8)])
+        result = exact_optimize(services, ResourceVector(cpu=6))
+        assert not result.feasible
+
+    def test_node_limit_enforced(self):
+        services = make_services([(1, 10)] * 10, levels=5)
+        with pytest.raises(AdmissionError):
+            exact_optimize(services, ResourceVector(cpu=50), node_limit=5)
+
+
+# ----------------------------------------------------------------------
+# Property: heuristic is admissible and near-exact
+# ----------------------------------------------------------------------
+
+instance = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=4),
+              st.integers(min_value=0, max_value=8)),
+    min_size=1, max_size=5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance, st.integers(min_value=5, max_value=40))
+def test_greedy_never_beats_exact_and_stays_feasible(spans, capacity_cpu):
+    specs = [(low, low + extra) for low, extra in spans]
+    services = make_services(specs, levels=3)
+    capacity = ResourceVector(cpu=float(capacity_cpu))
+    greedy = greedy_optimize(services, capacity)
+    exact = exact_optimize(services, capacity)
+    if greedy.feasible and exact.feasible:
+        assert greedy.revenue <= exact.revenue + 1e-9
+        assert greedy.used.cpu <= capacity_cpu + 1e-9
+        # The paper's heuristic should be close to optimal on these
+        # small single-dimension instances.
+        assert greedy.revenue >= 0.8 * exact.revenue - 1e-9
+    else:
+        assert greedy.feasible == exact.feasible
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance)
+def test_assignments_are_always_admissible_levels(spans):
+    specs = [(low, low + extra) for low, extra in spans]
+    services = make_services(specs, levels=3)
+    result = greedy_optimize(services, ResourceVector(cpu=20))
+    for key, candidate in result.assignment.items():
+        assert candidate in services[key]

@@ -1,0 +1,88 @@
+"""Tests for AQoS-to-AQoS request forwarding (Figure 1 peering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import build_multidomain, build_testbed
+from repro.errors import SLAError
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.negotiation import ServiceRequest
+
+
+def compute_request(client, cpu, end=100.0):
+    spec = QoSSpecification.of(exact_parameter(Dimension.CPU, cpu))
+    return ServiceRequest(client=client,
+                          service_name="simulation-service",
+                          service_class=ServiceClass.GUARANTEED,
+                          specification=spec, start=0.0, end=end)
+
+
+class TestForwarding:
+    def test_overflow_lands_on_the_peer(self):
+        world = build_multidomain(domains=2)
+        broker1 = world.brokers["domain1"]
+        broker2 = world.brokers["domain2"]
+        # Each domain has Cg = 15 (26 * 0.6 rounded). Three 7-node
+        # sessions: two fit domain1, the third must overflow to domain2.
+        outcomes = [broker1.request_service(compute_request(f"c{i}", 7))
+                    for i in range(3)]
+        assert all(outcome.accepted for outcome in outcomes)
+        assert len(broker1.repository.live()) == 2
+        assert len(broker2.repository.live()) == 1
+
+    def test_no_loop_when_everyone_is_full(self):
+        world = build_multidomain(domains=2)
+        broker1 = world.brokers["domain1"]
+        for i in range(4):  # 28 > 15+15 committed across both domains
+            broker1.request_service(compute_request(f"fill{i}", 7))
+        outcome = broker1.request_service(compute_request("extra", 7))
+        assert not outcome.accepted  # refused everywhere, no recursion
+
+    def test_best_effort_forwarding(self):
+        world = build_multidomain(domains=2)
+        broker1 = world.brokers["domain1"]
+        spec = QoSSpecification.of(exact_parameter(Dimension.CPU, 26))
+        request = ServiceRequest(client="be",
+                                 service_name="*",
+                                 service_class=ServiceClass.BEST_EFFORT,
+                                 specification=spec, start=0.0, end=50.0)
+        assert broker1.request_service(request).accepted
+        # Domain1 is now fully borrowed; the identical request is
+        # served by domain2.
+        second = broker1.request_service(ServiceRequest(
+            client="be2", service_name="*",
+            service_class=ServiceClass.BEST_EFFORT,
+            specification=spec, start=0.0, end=50.0))
+        assert second.accepted
+        assert world.brokers["domain2"].stats.best_effort_granted == 1
+
+    def test_forwarding_traced(self):
+        world = build_multidomain(domains=2)
+        broker1 = world.brokers["domain1"]
+        for i in range(3):
+            broker1.request_service(compute_request(f"c{i}", 7))
+        rows = world.trace.filter(category="broker",
+                                  contains="forwarding")
+        assert rows
+
+    def test_self_peering_rejected(self, testbed):
+        with pytest.raises(SLAError):
+            testbed.broker.add_peer(testbed.broker)
+
+    def test_peer_registration_idempotent(self):
+        world = build_multidomain(domains=2)
+        broker1 = world.brokers["domain1"]
+        broker2 = world.brokers["domain2"]
+        broker1.add_peer(broker2)  # already registered by the testbed
+        assert broker1._peers.count(broker2) == 1
+
+    def test_standalone_broker_still_refuses(self, testbed):
+        first = testbed.broker.request_service(
+            compute_request("a", 10))
+        second = testbed.broker.request_service(
+            compute_request("b", 10))
+        assert first.accepted
+        assert not second.accepted

@@ -1,0 +1,129 @@
+"""Tests for the Reservation System (repro.core.reservation_system)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reservation_system import ReservationSystem
+from repro.errors import CapacityError, ReservationError
+from repro.gara.reservation import ReservationState
+from repro.network.nrm import NetworkResourceManager
+from repro.network.topology import Topology
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.qos.vector import ResourceVector
+from repro.resources.compute import ComputeResourceManager
+from repro.resources.machine import Machine
+from repro.sla.document import NetworkDemand, ServiceSLA
+from repro.units import parse_bound
+
+
+@pytest.fixture
+def world(sim):
+    machine = Machine("m", 32, grid_nodes=26, memory_mb=10240,
+                      disk_mb=50000)
+    compute = ComputeResourceManager(sim, machine)
+    topology = Topology()
+    topology.add_site("siteA", "d1", address="192.200.168.33")
+    topology.add_site("siteB", "d1", address="135.200.50.101")
+    topology.add_link("siteA", "siteB", 622.0)
+    nrm = NetworkResourceManager(sim, topology, "d1")
+    rs = ReservationSystem(sim, compute, nrm=nrm)
+    return sim, compute, nrm, rs
+
+
+def make_sla(cpu=10, bandwidth=None, sla_id=1, end=100.0):
+    parameters = [exact_parameter(Dimension.CPU, cpu),
+                  exact_parameter(Dimension.MEMORY_MB, 1024)]
+    network = None
+    if bandwidth is not None:
+        parameters.append(exact_parameter(Dimension.BANDWIDTH_MBPS,
+                                          bandwidth))
+        network = NetworkDemand("135.200.50.101", "192.200.168.33",
+                                bandwidth, parse_bound("LessThan 10%"))
+    spec = QoSSpecification.from_iterable(parameters)
+    return ServiceSLA(sla_id=sla_id, client="c", service_name="svc",
+                      service_class=ServiceClass.GUARANTEED,
+                      specification=spec, agreed_point=spec.best_point(),
+                      start=0.0, end=end, network=network)
+
+
+class TestCoAllocation:
+    def test_compute_and_network_booked_together(self, world):
+        _sim, compute, nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=10, bandwidth=100.0))
+        assert composite.compute_handle is not None
+        assert composite.network_booking is not None
+        assert compute.available(0, 100).cpu == 16
+        assert nrm.available_bandwidth("siteB", "siteA", 0, 100) == 522.0
+
+    def test_network_refusal_rolls_back_compute(self, world):
+        _sim, compute, _nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=5, bandwidth=600.0))
+        with pytest.raises(CapacityError):
+            rs.reserve(make_sla(cpu=5, bandwidth=100.0, sla_id=2))
+        # The second SLA's compute leg must have been rolled back.
+        assert compute.available(0, 100).cpu == 21
+        rs.cancel(composite)
+
+    def test_compute_refusal_stops_early(self, world):
+        _sim, _compute, nrm, rs = world
+        with pytest.raises(CapacityError):
+            rs.reserve(make_sla(cpu=30, bandwidth=10.0))
+        assert nrm.available_bandwidth("siteB", "siteA", 0, 100) == 622.0
+
+
+class TestConfirmProtocol:
+    def test_confirm_commits(self, world):
+        _sim, compute, _nrm, rs = world
+        composite = rs.reserve(make_sla())
+        rs.confirm(composite)
+        reservation = compute.gara.reservation_status(
+            composite.compute_handle)
+        assert reservation.state is ReservationState.COMMITTED
+
+    def test_unconfirmed_auto_cancels_on_timeout(self, world):
+        sim, compute, _nrm, rs = world
+        composite = rs.reserve(make_sla())
+        sim.run(until=compute.gara.confirm_timeout + 1.0)
+        reservation = compute.gara.reservation_status(
+            composite.compute_handle)
+        assert reservation.state is ReservationState.CANCELLED
+
+    def test_confirm_after_cancel_rejected(self, world):
+        _sim, _compute, _nrm, rs = world
+        composite = rs.reserve(make_sla())
+        rs.cancel(composite)
+        with pytest.raises(ReservationError):
+            rs.confirm(composite)
+
+
+class TestCancelAndModify:
+    def test_cancel_releases_both_legs(self, world):
+        _sim, compute, nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=10, bandwidth=100.0))
+        rs.cancel(composite)
+        assert compute.available(0, 100).cpu == 26
+        assert nrm.available_bandwidth("siteB", "siteA", 0, 100) == 622.0
+
+    def test_cancel_is_idempotent(self, world):
+        _sim, _compute, _nrm, rs = world
+        composite = rs.reserve(make_sla())
+        rs.cancel(composite)
+        rs.cancel(composite)
+
+    def test_modify_compute_resizes(self, world):
+        _sim, compute, _nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=10))
+        rs.confirm(composite)
+        rs.modify_compute(composite,
+                          ResourceVector(cpu=4, memory_mb=1024))
+        assert compute.available(0, 100).cpu == 22
+
+    def test_modify_without_compute_leg_rejected(self, world):
+        _sim, _compute, _nrm, rs = world
+        from repro.core.reservation_system import CompositeReservation
+        with pytest.raises(ReservationError):
+            rs.modify_compute(CompositeReservation(sla_id=9),
+                              ResourceVector(cpu=1))

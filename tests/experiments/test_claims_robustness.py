@@ -1,0 +1,83 @@
+"""Seed-robustness of the headline claims.
+
+The benchmarks demonstrate the paper's shapes at fixed seeds; these
+tests re-check the load-bearing claims across several seeds so the
+conclusions cannot be artifacts of one lucky draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines import AdaptivePolicy, StaticPartitionPolicy
+from repro.experiments.harness import run_policy_workload
+from repro.sim.random import RandomSource
+from repro.workloads.generators import (
+    WorkloadConfig,
+    arrival_rate_for_load,
+    generate_workload,
+)
+
+SEEDS = (1, 17, 42, 99, 1234)
+FAILURES = ((80.0, -4.0), (160.0, 4.0), (240.0, -4.0), (320.0, 4.0))
+
+
+def workload(seed: int, load: float = 1.0):
+    config = WorkloadConfig(horizon=400.0)
+    rate = arrival_rate_for_load(load, 26.0, config)
+    return generate_workload(replace(config, arrival_rate=rate),
+                             RandomSource(seed))
+
+
+class TestAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adaptive_never_violates_under_covered_failures(self, seed):
+        """The central claim: 4-node failures never violate guarantees
+        while the 6-node reserve stands — at any seed."""
+        result = run_policy_workload(
+            AdaptivePolicy(15, 6, 5, best_effort_min=2),
+            workload(seed), failures=FAILURES)
+        assert result.violation_time_fraction == 0.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adaptive_serves_more_best_effort_than_static(self, seed):
+        """'Resources are never under-utilized': borrowed capacity
+        beats the rigid split's best-effort service at any seed."""
+        shared = workload(seed, load=1.2)
+        adaptive = run_policy_workload(
+            AdaptivePolicy(15, 6, 5, best_effort_min=2), shared)
+        static = run_policy_workload(
+            StaticPartitionPolicy(15, 6, 5), shared)
+        if static.best_effort_requests == 0:
+            pytest.skip("no best-effort arrivals at this seed")
+        assert adaptive.best_effort_cpu_time >= \
+            static.best_effort_cpu_time
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_admission_never_oversells_cg(self, seed):
+        """Accepted guaranteed commitments never exceed Cg."""
+        policy = AdaptivePolicy(15, 6, 5, best_effort_min=2)
+        run_policy_workload(policy, workload(seed, load=1.5))
+        assert policy.partition.committed_total() <= 15.0 + 1e-9
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"horizon": 0.0},
+        {"arrival_rate": -1.0},
+        {"mean_duration": 0.0},
+        {"class_mix": (0.0, 0.0, 0.0)},
+        {"class_mix": (-1.0, 1.0, 1.0)},
+        {"guaranteed_cpu": (5, 2)},
+        {"guaranteed_cpu": (0, 2)},
+        {"controlled_stretch": 0.5},
+        {"degradable_fraction": 1.5},
+    ])
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+    def test_default_config_valid(self):
+        WorkloadConfig()

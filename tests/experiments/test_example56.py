@@ -1,0 +1,82 @@
+"""Tests for the Section 5.6 replay (repro.experiments.example56).
+
+These pin the legible anchors of the paper's worked example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.example56 import (
+    Example56Result,
+    format_example56,
+    run_example56,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> Example56Result:
+    return run_example56()
+
+
+class TestPaperAnchors:
+    def test_partition_sizes(self, result):
+        # Cg=15, Ca=6, Cb=5 sum to the 26 grid-exposed nodes.
+        row = result.row("t1")
+        assert row.effective_cg == 15.0
+
+    def test_t1_sla3_allocated_ten_nodes(self, result):
+        assert result.row("t1").sla3_served == 10.0
+
+    def test_t3_failure_shrinks_cg_to_12(self, result):
+        assert result.row("t3").effective_cg == 12.0
+
+    def test_t3_deficit_brought_from_ca(self, result):
+        row = result.row("t3")
+        # 14 entitled vs 12 effective Cg: 2 nodes come from Ca.
+        assert row.from_ca == pytest.approx(2.0)
+        assert row.adapt_transfer == pytest.approx(2.0)
+        assert row.guaranteed_served == 14.0
+        assert row.shortfall == 0.0
+
+    def test_t3_sla3_still_gets_min_g_c(self, result):
+        # "SLA3 is due, allocating min(g(u), c(u,t)) = 10 processors".
+        assert result.row("t3").sla3_served == 10.0
+
+    def test_t4_recovery_restores_cg_sourcing(self, result):
+        row = result.row("t4")
+        assert row.effective_cg == 15.0
+        assert row.from_ca == 0.0
+        assert row.adapt_transfer == 0.0
+
+    def test_t5_sla3_expiry_releases_nodes(self, result):
+        t4 = result.row("t4")
+        t5 = result.row("t5")
+        assert t5.sla3_served == 0.0
+        # The released 10 nodes flow to best-effort borrowers.
+        assert t5.best_effort_served == pytest.approx(
+            t4.best_effort_served + 10.0)
+
+    def test_guarantees_always_honored(self, result):
+        # The paper's claim: the adaptive capacity covers failures.
+        assert result.guarantees_always_honored
+
+    def test_never_underutilized(self, result):
+        # Paper advantage (a): "Resources are never under-utilized due
+        # to the dynamic property of the algorithm."
+        assert result.never_underutilized
+
+
+class TestRendering:
+    def test_table_lists_all_instants(self, result):
+        text = format_example56(result)
+        for instant in ("t1", "t2", "t3", "t4", "t5"):
+            assert instant in text
+
+    def test_row_lookup_unknown_instant(self, result):
+        with pytest.raises(KeyError):
+            result.row("t9")
+
+    def test_replay_is_deterministic(self, result):
+        again = run_example56()
+        assert format_example56(again) == format_example56(result)

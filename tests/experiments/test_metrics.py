@@ -1,0 +1,57 @@
+"""Tests for time-weighted metrics (repro.experiments.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import TimeWeightedMetrics
+
+
+class TestIntegration:
+    def test_piecewise_constant_integral(self):
+        metrics = TimeWeightedMetrics(start=0.0)
+        metrics.observe(0.0, utilization=0.5)
+        metrics.observe(10.0, utilization=1.0)
+        metrics.finalize(20.0)
+        # 0.5 over [0,10) plus 1.0 over [10,20).
+        assert metrics.integral("utilization") == pytest.approx(15.0)
+        assert metrics.mean("utilization") == pytest.approx(0.75)
+
+    def test_signals_persist_until_changed(self):
+        metrics = TimeWeightedMetrics()
+        metrics.observe(0.0, a=2.0, b=1.0)
+        metrics.observe(5.0, a=0.0)  # b unchanged
+        metrics.finalize(10.0)
+        assert metrics.integral("a") == pytest.approx(10.0)
+        assert metrics.integral("b") == pytest.approx(10.0)
+
+    def test_unseen_signal_is_zero(self):
+        metrics = TimeWeightedMetrics()
+        metrics.finalize(10.0)
+        assert metrics.integral("nothing") == 0.0
+        assert metrics.mean("nothing") == 0.0
+
+    def test_out_of_order_observation_rejected(self):
+        metrics = TimeWeightedMetrics()
+        metrics.observe(5.0, x=1.0)
+        with pytest.raises(ValueError):
+            metrics.observe(4.0, x=2.0)
+
+    def test_same_instant_updates_take_effect(self):
+        metrics = TimeWeightedMetrics()
+        metrics.observe(0.0, x=1.0)
+        metrics.observe(0.0, x=5.0)  # replaces before any time passes
+        metrics.finalize(2.0)
+        assert metrics.integral("x") == pytest.approx(10.0)
+
+    def test_empty_window_mean_is_zero(self):
+        metrics = TimeWeightedMetrics(start=3.0)
+        metrics.observe(3.0, x=4.0)
+        assert metrics.mean("x") == 0.0
+
+    def test_nonzero_start(self):
+        metrics = TimeWeightedMetrics(start=100.0)
+        metrics.observe(100.0, x=2.0)
+        metrics.finalize(110.0)
+        assert metrics.elapsed == pytest.approx(10.0)
+        assert metrics.mean("x") == pytest.approx(2.0)

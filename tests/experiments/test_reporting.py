@@ -1,0 +1,35 @@
+"""Tests for result-table rendering (repro.experiments.reporting)."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["policy", "acceptance"],
+            [["adaptive", 0.95], ["static", 0.7]],
+            title="X1")
+        lines = text.splitlines()
+        assert lines[0] == "X1"
+        assert "policy" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "adaptive" in lines[3]
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["long-name", 10.25]])
+        rows = text.splitlines()[2:]
+        # Numbers end at the same column.
+        assert rows[0].rstrip().endswith("1.500")
+        assert rows[1].rstrip().endswith("10.250")
+
+    def test_integers_rendered_without_decimals(self):
+        text = format_table(["n"], [[3.0]])
+        assert "3.000" not in text
+        assert "3" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,102 @@
+"""Tests for the Figure 2 sequence-diagram renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sequence import (
+    ACTORS,
+    Interaction,
+    extract_interactions,
+    figure2_diagram,
+    render_sequence_diagram,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def trace_with(*rows):
+    trace = TraceRecorder()
+    for time, category, message in rows:
+        trace.record(time, category, message)
+    return trace
+
+
+class TestExtraction:
+    def test_known_rows_map_to_interactions(self):
+        trace = trace_with(
+            (0.0, "broker", "discovery for 'alice': 1 matching"),
+            (0.0, "reservation", "RS[SLA 1]: temporarily reserved "
+                                 "compute ..."),
+            (1.0, "compute", "m: launched 'svc' as pid 1"),
+            (9.0, "broker", "SLA 1 closed: completion"),
+        )
+        interactions = extract_interactions(trace)
+        assert [i.label for i in interactions] == [
+            "QueryServices()", "ResourceAllocation()",
+            "ServiceInvocation()", "QoStermination()"]
+
+    def test_unmatched_rows_skipped(self):
+        trace = trace_with((0.0, "gara", "something internal"),
+                           (1.0, "unknown", "noise"))
+        assert extract_interactions(trace) == []
+
+    def test_limit(self):
+        trace = trace_with(
+            *(((float(i), "broker", "discovery for x") for i in range(10))))
+        assert len(extract_interactions(trace, limit=3)) == 3
+
+    def test_actors_are_figure2s(self):
+        assert ACTORS == ("Client", "AQoS", "RM", "NRM", "Service")
+
+
+class TestRendering:
+    def test_header_and_lifelines_aligned(self):
+        text = render_sequence_diagram([
+            Interaction(0.0, "Client", "AQoS", "QueryServices()")])
+        lines = text.splitlines()
+        header, lifeline = lines[0], lines[1]
+        for actor in ACTORS:
+            column = header.index(actor) + len(actor) // 2
+            assert lifeline[column] == "|"
+
+    def test_arrow_direction(self):
+        right = render_sequence_diagram([
+            Interaction(0.0, "Client", "AQoS", "go")])
+        assert ">" in right
+        left = render_sequence_diagram([
+            Interaction(0.0, "AQoS", "Client", "back")])
+        assert "<" in left
+
+    def test_self_call_marker(self):
+        text = render_sequence_diagram([
+            Interaction(0.0, "AQoS", "AQoS", "Adapt()")])
+        assert "*" in text
+        assert "Adapt()" in text
+
+    def test_times_printed(self):
+        text = render_sequence_diagram([
+            Interaction(12.5, "Client", "AQoS", "x")])
+        assert "12.50" in text
+
+
+class TestEndToEnd:
+    def test_full_session_diagram(self, testbed):
+        from repro.qos.classes import ServiceClass
+        from repro.qos.parameters import Dimension, exact_parameter
+        from repro.qos.specification import QoSSpecification
+        from repro.sla.document import NetworkDemand
+        from repro.sla.negotiation import ServiceRequest
+
+        spec = QoSSpecification.of(exact_parameter(Dimension.CPU, 4))
+        outcome = testbed.broker.request_service(ServiceRequest(
+            client="alice", service_name="simulation-service",
+            service_class=ServiceClass.GUARANTEED,
+            specification=spec, start=0.0, end=50.0,
+            network=NetworkDemand("135.200.50.101", "192.200.168.33",
+                                  50.0)))
+        assert outcome.accepted
+        testbed.sim.run(until=60.0)
+        diagram = figure2_diagram(testbed.trace)
+        for label in ("QueryServices()", "ResourceAllocation()",
+                      "ServiceInvocation()", "QoStermination()"):
+            assert label[:12] in diagram

@@ -1,0 +1,96 @@
+"""Tests for the reservation state machine (repro.gara.reservation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReservationStateError
+from repro.gara.reservation import (
+    Reservation,
+    ReservationHandle,
+    ReservationState,
+)
+from repro.gara.slot_table import SlotEntry
+from repro.qos.vector import ResourceVector
+
+
+def make_reservation(state=ReservationState.TEMPORARY):
+    entry = SlotEntry(entry_id=1, demand=ResourceVector(cpu=4),
+                      start=0.0, end=10.0)
+    return Reservation(handle=ReservationHandle.fresh(), entry=entry,
+                       rsl="&(count=4)(start-time=0)(end-time=10)",
+                       state=state)
+
+
+class TestLifecycle:
+    def test_paper_flow_temporary_commit_bind(self):
+        reservation = make_reservation()
+        reservation.commit()
+        assert reservation.state is ReservationState.COMMITTED
+        reservation.bind(pid=4242)
+        assert reservation.state is ReservationState.BOUND
+        assert reservation.bound_pid == 4242
+
+    def test_unbind_returns_to_committed(self):
+        reservation = make_reservation()
+        reservation.commit()
+        reservation.bind(pid=1)
+        reservation.unbind()
+        assert reservation.state is ReservationState.COMMITTED
+        assert reservation.bound_pid is None
+
+    def test_cancel_from_any_live_state(self):
+        for state in (ReservationState.TEMPORARY,
+                      ReservationState.COMMITTED,
+                      ReservationState.BOUND):
+            reservation = make_reservation(state)
+            reservation.cancel()
+            assert reservation.state is ReservationState.CANCELLED
+
+    def test_expire_from_live_states(self):
+        reservation = make_reservation(ReservationState.BOUND)
+        reservation.expire()
+        assert reservation.state is ReservationState.EXPIRED
+
+
+class TestIllegalTransitions:
+    def test_bind_before_commit(self):
+        with pytest.raises(ReservationStateError):
+            make_reservation().bind(pid=1)
+
+    def test_double_commit(self):
+        reservation = make_reservation()
+        reservation.commit()
+        with pytest.raises(ReservationStateError):
+            reservation.commit()
+
+    def test_cancel_after_cancel(self):
+        reservation = make_reservation()
+        reservation.cancel()
+        with pytest.raises(ReservationStateError):
+            reservation.cancel()
+
+    def test_unbind_when_not_bound(self):
+        reservation = make_reservation()
+        with pytest.raises(ReservationStateError):
+            reservation.unbind()
+
+
+class TestAccessors:
+    def test_is_live(self):
+        assert ReservationState.TEMPORARY.is_live
+        assert ReservationState.COMMITTED.is_live
+        assert ReservationState.BOUND.is_live
+        assert not ReservationState.CANCELLED.is_live
+        assert not ReservationState.EXPIRED.is_live
+
+    def test_demand_and_window(self):
+        reservation = make_reservation()
+        assert reservation.demand == ResourceVector(cpu=4)
+        assert reservation.window == (0.0, 10.0)
+
+    def test_handles_are_unique_and_printable(self):
+        a = ReservationHandle.fresh()
+        b = ReservationHandle.fresh()
+        assert a != b
+        assert str(a).startswith("gara-")

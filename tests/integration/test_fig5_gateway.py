@@ -1,0 +1,109 @@
+"""Integration: the Figure 5 testbed — clients drive the AQoS broker
+purely through XML messages over the bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gateway import BrokerGateway, ClientStub
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import NetworkDemand, SlaStatus
+from repro.sla.negotiation import ServiceRequest
+from repro.units import parse_bound
+from repro.xmlmsg.bus import MessageBus
+
+
+@pytest.fixture
+def world(testbed):
+    bus = MessageBus(testbed.sim, trace=testbed.trace)
+    BrokerGateway(testbed.broker, bus)
+    client1 = ClientStub("client1", bus)
+    client2 = ClientStub("client2", bus)
+    return testbed, bus, client1, client2
+
+
+def guaranteed_request(client="client1", cpu=10):
+    spec = QoSSpecification.of(
+        exact_parameter(Dimension.CPU, cpu),
+        exact_parameter(Dimension.MEMORY_MB, 2048))
+    return ServiceRequest(
+        client=client, service_name="simulation-service",
+        service_class=ServiceClass.GUARANTEED, specification=spec,
+        start=0.0, end=100.0,
+        network=NetworkDemand("135.200.50.101", "192.200.168.33",
+                              100.0, parse_bound("LessThan 10%")))
+
+
+class TestClientFlow:
+    def test_request_offer_accept_cycle(self, world):
+        testbed, _bus, client1, _client2 = world
+        negotiation_id, offers, reason = client1.request_service(
+            guaranteed_request())
+        assert reason == ""
+        assert negotiation_id is not None
+        assert len(offers) == 1
+        sla, failure = client1.accept_offer(negotiation_id)
+        assert failure == ""
+        assert sla.client == "client1"
+        stored = testbed.repository.get(sla.sla_id)
+        assert stored.status is SlaStatus.ACTIVE
+
+    def test_reject_leaves_no_session(self, world):
+        testbed, _bus, client1, _client2 = world
+        negotiation_id, _offers, _reason = client1.request_service(
+            guaranteed_request())
+        client1.reject_offer(negotiation_id)
+        assert testbed.repository.live() == []
+
+    def test_verify_sla_returns_table3_values(self, world):
+        _testbed, _bus, client1, _client2 = world
+        negotiation_id, _offers, _ = client1.request_service(
+            guaranteed_request())
+        sla, _ = client1.accept_offer(negotiation_id)
+        measured_id, values = client1.verify_sla(sla.sla_id)
+        assert measured_id == sla.sla_id
+        assert values[Dimension.CPU] == 10.0
+        assert values[Dimension.BANDWIDTH_MBPS] == pytest.approx(100.0)
+
+    def test_two_clients_share_the_broker(self, world):
+        testbed, _bus, client1, client2 = world
+        first_id, _, _ = client1.request_service(guaranteed_request())
+        second_id, _, _ = client2.request_service(
+            guaranteed_request(client="client2", cpu=5))
+        assert first_id != second_id
+        sla1, _ = client1.accept_offer(first_id)
+        sla2, _ = client2.accept_offer(second_id)
+        assert {s.client for s in testbed.repository.live()} == \
+            {"client1", "client2"}
+
+    def test_capacity_failure_surfaces_as_offer_failure(self, world):
+        _testbed, _bus, client1, client2 = world
+        negotiation_id, _, _ = client1.request_service(guaranteed_request())
+        client1.accept_offer(negotiation_id)
+        _id, offers, reason = client2.request_service(
+            guaranteed_request(client="client2", cpu=10))
+        assert offers == []
+        assert "resources" in reason
+
+    def test_controlled_load_offers_include_floor(self, world):
+        _testbed, _bus, client1, _client2 = world
+        spec = QoSSpecification.of(range_parameter(Dimension.CPU, 2, 8))
+        request = ServiceRequest(
+            client="client1", service_name="simulation-service",
+            service_class=ServiceClass.CONTROLLED_LOAD,
+            specification=spec, start=0.0, end=50.0)
+        _id, offers, _ = client1.request_service(request)
+        assert len(offers) == 2
+        assert offers[0].price_rate > offers[1].price_rate
+
+    def test_message_trace_records_soap_flow(self, world):
+        testbed, _bus, client1, _client2 = world
+        negotiation_id, _, _ = client1.request_service(guaranteed_request())
+        client1.accept_offer(negotiation_id)
+        messages = [entry.message for entry in
+                    testbed.trace.filter(category="message")]
+        assert any("client1 -> aqos: service_request" in m
+                   for m in messages)
+        assert any("client1 -> aqos: accept_offer" in m for m in messages)

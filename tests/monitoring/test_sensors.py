@@ -1,0 +1,88 @@
+"""Tests for sensors (repro.monitoring.sensors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring.sensors import ComputeSensor, NetworkSensor
+from repro.network.nrm import NetworkResourceManager
+from repro.network.topology import Topology
+from repro.qos.parameters import Dimension
+from repro.qos.vector import ResourceVector
+from repro.resources.compute import ComputeResourceManager
+from repro.resources.machine import Machine
+from repro.rsl.builder import reservation_rsl
+from repro.sim.random import RandomSource
+
+
+@pytest.fixture
+def compute_rm(sim):
+    return ComputeResourceManager(sim, Machine("m", 32, grid_nodes=26,
+                                               memory_mb=4096))
+
+
+@pytest.fixture
+def nrm(sim):
+    topology = Topology()
+    topology.add_site("a", "d")
+    topology.add_site("b", "d")
+    topology.add_link("a", "b", 100.0, delay_ms=3.0, loss=0.01)
+    return NetworkResourceManager(sim, topology, "d")
+
+
+class TestComputeSensor:
+    def test_reads_capacity_and_utilization(self, sim, compute_rm):
+        handle = compute_rm.gara.reservation_create(
+            reservation_rsl(ResourceVector(cpu=13), 0, 100))
+        compute_rm.gara.reservation_commit(handle)
+        sensor = ComputeSensor("cpu", sim, compute_rm)
+        reading = sensor.sample()
+        assert reading.values[Dimension.CPU] == 26
+        assert reading.extra["utilization"] == pytest.approx(0.5)
+        assert reading.extra["free_cpu"] == pytest.approx(13)
+
+    def test_tracks_failures(self, sim, compute_rm):
+        sensor = ComputeSensor("cpu", sim, compute_rm)
+        compute_rm.machine.fail_nodes(6)
+        assert sensor.sample().values[Dimension.CPU] == 20
+
+    def test_noise_is_deterministic_per_seed(self, sim, compute_rm):
+        a = ComputeSensor("a", sim, compute_rm, rng=RandomSource(1),
+                          noise=0.05)
+        b = ComputeSensor("b", sim, compute_rm, rng=RandomSource(1),
+                          noise=0.05)
+        assert a.sample().values[Dimension.CPU] == \
+            b.sample().values[Dimension.CPU]
+
+    def test_noise_never_negative(self, sim, compute_rm):
+        sensor = ComputeSensor("a", sim, compute_rm,
+                               rng=RandomSource(3), noise=5.0)
+        for _ in range(50):
+            assert sensor.sample().values[Dimension.CPU] >= 0.0
+
+
+class TestNetworkSensor:
+    def test_measures_flow(self, sim, nrm):
+        flow = nrm.allocate("a", "b", 40.0, 0, 100)
+        sensor = NetworkSensor("net", sim, nrm, flow)
+        reading = sensor.sample()
+        assert reading.values[Dimension.BANDWIDTH_MBPS] == \
+            pytest.approx(40.0)
+        assert reading.values[Dimension.DELAY_MS] == pytest.approx(3.0)
+        assert reading.values[Dimension.PACKET_LOSS] == pytest.approx(0.01)
+        assert reading.extra["agreed_mbps"] == 40.0
+
+    def test_sees_congestion(self, sim, nrm):
+        flow = nrm.allocate("a", "b", 80.0, 0, 100)
+        sensor = NetworkSensor("net", sim, nrm, flow)
+        nrm.set_congestion("a", "b", 0.5)
+        assert sensor.sample().values[Dimension.BANDWIDTH_MBPS] == \
+            pytest.approx(50.0)
+
+    def test_released_flow_raises(self, sim, nrm):
+        flow = nrm.allocate("a", "b", 40.0, 0, 100)
+        sensor = NetworkSensor("net", sim, nrm, flow)
+        nrm.release(flow)
+        with pytest.raises(MonitoringError):
+            sensor.sample()

@@ -1,0 +1,101 @@
+"""Tests for stochastic congestion injection (repro.network.congestion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.congestion import CongestionInjector
+from repro.network.nrm import NetworkResourceManager
+from repro.network.topology import Topology
+from repro.sim.random import RandomSource
+
+
+@pytest.fixture
+def world(sim):
+    topology = Topology()
+    topology.add_site("a", "d1")
+    topology.add_site("b", "d1")
+    topology.add_site("c", "d1")
+    topology.add_link("a", "b", 100.0)
+    topology.add_link("b", "c", 100.0)
+    nrm = NetworkResourceManager(sim, topology, "d1")
+    return sim, topology, nrm
+
+
+class TestInjection:
+    def test_episodes_strike_and_clear(self, world):
+        sim, topology, nrm = world
+        injector = CongestionInjector(sim, nrm, rng=RandomSource(1),
+                                      mtbc=20.0, mean_duration=10.0)
+        injector.start()
+        sim.run(until=500.0)
+        assert len(injector.episodes) > 5
+        # All clears scheduled within the horizon have fired.
+        for link in topology.links():
+            if all(e.end < 500.0 for e in injector.episodes
+                   if e.link_key == link.key):
+                assert link.congestion_factor == 1.0
+
+    def test_degraded_flows_get_notices(self, world):
+        sim, _topology, nrm = world
+        flow = nrm.allocate("a", "b", 90.0, 0, 1000)
+        notices = []
+        nrm.subscribe_degradation(lambda f, m: notices.append(f.flow_id))
+        injector = CongestionInjector(sim, nrm, rng=RandomSource(2),
+                                      mtbc=30.0, mean_duration=10.0,
+                                      severity=(0.3, 0.5))
+        injector.start()
+        sim.run(until=300.0)
+        assert flow.flow_id in notices
+
+    def test_no_double_congestion_on_one_link(self, world):
+        sim, topology, nrm = world
+        only_link = [topology.link("a", "b")]
+        injector = CongestionInjector(sim, nrm, links=only_link,
+                                      rng=RandomSource(3),
+                                      mtbc=1.0, mean_duration=50.0)
+        injector.start()
+        sim.run(until=40.0)
+        active = [e for e in injector.episodes
+                  if e.start <= sim.now < e.end]
+        assert len(active) <= 1
+
+    def test_stop_halts_new_episodes(self, world):
+        sim, _topology, nrm = world
+        injector = CongestionInjector(sim, nrm, rng=RandomSource(4),
+                                      mtbc=10.0, mean_duration=5.0)
+        injector.start()
+        sim.run(until=100.0)
+        injector.stop()
+        count = len(injector.episodes)
+        sim.run(until=300.0)
+        assert len(injector.episodes) == count
+
+    def test_determinism(self):
+        from repro.sim.engine import Simulator
+
+        def run(seed):
+            sim = Simulator()
+            topology = Topology()
+            topology.add_site("a", "d")
+            topology.add_site("b", "d")
+            topology.add_link("a", "b", 100.0)
+            nrm = NetworkResourceManager(sim, topology, "d")
+            injector = CongestionInjector(sim, nrm,
+                                          rng=RandomSource(seed),
+                                          mtbc=15.0, mean_duration=8.0)
+            injector.start()
+            sim.run(until=400.0)
+            return [(e.link_key, round(e.start, 6), round(e.factor, 6))
+                    for e in injector.episodes]
+
+        assert run(9) == run(9)
+
+    def test_validation(self, world):
+        sim, _topology, nrm = world
+        with pytest.raises(ValueError):
+            CongestionInjector(sim, nrm, mtbc=0.0)
+        with pytest.raises(ValueError):
+            CongestionInjector(sim, nrm, severity=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            CongestionInjector(sim, nrm, links=[])

@@ -1,0 +1,56 @@
+"""Tests for the service classes (repro.qos.classes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.classes import ServiceClass
+
+
+class TestClassSemantics:
+    def test_sla_holders(self):
+        assert ServiceClass.GUARANTEED.has_sla
+        assert ServiceClass.CONTROLLED_LOAD.has_sla
+        assert not ServiceClass.BEST_EFFORT.has_sla
+
+    def test_monitoring_excludes_best_effort(self):
+        # Section 2.1: adaptation only for guaranteed and controlled load.
+        assert ServiceClass.GUARANTEED.monitored
+        assert ServiceClass.CONTROLLED_LOAD.monitored
+        assert not ServiceClass.BEST_EFFORT.monitored
+
+    def test_only_controlled_load_is_adjustable(self):
+        assert ServiceClass.CONTROLLED_LOAD.adjustable
+        assert not ServiceClass.GUARANTEED.adjustable
+        assert not ServiceClass.BEST_EFFORT.adjustable
+
+    def test_promotions_only_for_controlled_load(self):
+        # Section 5.2: promotion offers exist only in controlled load.
+        assert ServiceClass.CONTROLLED_LOAD.may_receive_promotions
+        assert not ServiceClass.GUARANTEED.may_receive_promotions
+
+
+class TestLabelParsing:
+    def test_paper_table4_label(self):
+        assert ServiceClass.from_label("Controlled-load") is \
+            ServiceClass.CONTROLLED_LOAD
+
+    @pytest.mark.parametrize("label, expected", [
+        ("guaranteed", ServiceClass.GUARANTEED),
+        ("GUARANTEED", ServiceClass.GUARANTEED),
+        ("controlled_load", ServiceClass.CONTROLLED_LOAD),
+        ("ControlledLoad", ServiceClass.CONTROLLED_LOAD),
+        ("best effort", ServiceClass.BEST_EFFORT),
+        ("Best-Effort", ServiceClass.BEST_EFFORT),
+        ("besteffort", ServiceClass.BEST_EFFORT),
+    ])
+    def test_alias_forms(self, label, expected):
+        assert ServiceClass.from_label(label) is expected
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            ServiceClass.from_label("platinum")
+
+    def test_round_trip_via_value(self):
+        for member in ServiceClass:
+            assert ServiceClass.from_label(member.value) is member

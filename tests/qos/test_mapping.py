@@ -1,0 +1,110 @@
+"""Tests for QoS mapping (repro.qos.mapping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QoSSpecificationError
+from repro.qos.mapping import (
+    COLLABORATIVE_VISUALIZATION,
+    DATA_TRANSFER,
+    ApplicationProfile,
+    MetricRule,
+)
+from repro.qos.parameters import Dimension
+
+
+class TestMetricRule:
+    def test_affine_translation(self):
+        rule = MetricRule(Dimension.BANDWIDTH_MBPS, coefficient=5.0,
+                          offset=2.0)
+        assert rule.demand(4.0) == 22.0
+
+    def test_cpu_rounds_up_to_whole_nodes(self):
+        rule = MetricRule(Dimension.CPU, coefficient=0.25)
+        assert rule.demand(5.0) == 2.0   # 1.25 -> 2 nodes
+        assert rule.demand(8.0) == 2.0   # exactly 2
+        assert rule.demand(9.0) == 3.0
+
+    def test_negative_demand_rejected(self):
+        rule = MetricRule(Dimension.MEMORY_MB, coefficient=1.0,
+                          offset=-100.0)
+        with pytest.raises(QoSSpecificationError):
+            rule.demand(10.0)
+
+
+class TestScalarMapping:
+    def test_exact_requirements_yield_exact_parameters(self):
+        spec = COLLABORATIVE_VISUALIZATION.map_requirements({
+            "participants": 4,
+            "frames_per_second": 16,
+            "dataset_gb": 15,
+        })
+        point = spec.best_point()
+        assert point[Dimension.BANDWIDTH_MBPS] == 20.0   # 4 × 5
+        assert point[Dimension.CPU] == 4.0               # ceil(16/4)
+        assert point[Dimension.MEMORY_MB] == 256.0 + 16 * 64  # baseline
+        assert point[Dimension.DISK_MB] == 15 * 1024.0
+        assert spec.worst_point() == point  # scalar -> exact
+
+    def test_baseline_applies_without_metrics(self):
+        spec = COLLABORATIVE_VISUALIZATION.map_requirements({})
+        assert spec.best_point()[Dimension.MEMORY_MB] == 256.0
+
+
+class TestRangedMapping:
+    def test_min_desired_yields_controlled_load_ranges(self):
+        spec = COLLABORATIVE_VISUALIZATION.map_requirements({
+            "frames_per_second": (8, 24),
+            "participants": 2,
+        })
+        cpu = spec.require(Dimension.CPU)
+        assert (cpu.low, cpu.high) == (2.0, 6.0)
+        # The scalar metric stays exact even in a ranged spec when its
+        # own dimension has identical ends.
+        bandwidth = spec.require(Dimension.BANDWIDTH_MBPS)
+        assert bandwidth.best() == bandwidth.worst() == 10.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QoSSpecificationError):
+            COLLABORATIVE_VISUALIZATION.map_requirements({
+                "frames_per_second": (24, 8)})
+
+
+class TestValidation:
+    def test_unknown_metric_rejected_with_known_list(self):
+        with pytest.raises(QoSSpecificationError) as info:
+            DATA_TRANSFER.map_requirements({"frames_per_second": 30})
+        assert "throughput_mbps" in str(info.value)
+
+    def test_metrics_listing(self):
+        assert COLLABORATIVE_VISUALIZATION.metrics() == (
+            "dataset_gb", "frames_per_second", "participants")
+
+
+class TestEndToEnd:
+    def test_mapped_spec_negotiates_through_the_broker(self, testbed):
+        """The mapped specification is directly negotiable — the full
+        QoS Mapping -> Negotiation pipeline of Figure 3."""
+        from repro.qos.classes import ServiceClass
+        from repro.sla.negotiation import ServiceRequest
+
+        spec = COLLABORATIVE_VISUALIZATION.map_requirements({
+            "frames_per_second": (8, 24),
+            "dataset_gb": 10,
+        })
+        outcome = testbed.broker.request_service(ServiceRequest(
+            client="viz-team", service_name="visualization-service",
+            service_class=ServiceClass.CONTROLLED_LOAD,
+            specification=spec, start=0.0, end=50.0))
+        assert outcome.accepted, outcome.reason
+        assert outcome.sla.delivered_point[Dimension.CPU] == 6.0
+
+    def test_custom_profile(self):
+        profile = ApplicationProfile(
+            name="batch", rules={
+                "tasks": (MetricRule(Dimension.CPU, coefficient=1.0),),
+            })
+        spec = profile.map_requirements({"tasks": (2, 10)})
+        cpu = spec.require(Dimension.CPU)
+        assert (cpu.low, cpu.high) == (2.0, 10.0)

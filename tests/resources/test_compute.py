@@ -1,0 +1,140 @@
+"""Tests for the compute RM (repro.resources.compute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gara.reservation import ReservationState
+from repro.qos.vector import ResourceVector
+from repro.resources.compute import ComputeResourceManager, JobState
+from repro.resources.machine import Machine
+from repro.rsl.builder import reservation_rsl
+
+
+@pytest.fixture
+def rm(sim):
+    machine = Machine("m", 32, grid_nodes=26, memory_mb=10240,
+                      disk_mb=50000)
+    return ComputeResourceManager(sim, machine)
+
+
+def reserve(rm, cpu=10, end=100.0):
+    handle = rm.gara.reservation_create(
+        reservation_rsl(ResourceVector(cpu=cpu, memory_mb=1024), 0.0, end))
+    rm.gara.reservation_commit(handle)
+    return handle
+
+
+class TestLaunch:
+    def test_launch_binds_pid(self, rm):
+        handle = reserve(rm)
+        job = rm.launch("simulation", handle)
+        reservation = rm.gara.reservation_status(handle)
+        assert reservation.state is ReservationState.BOUND
+        assert reservation.bound_pid == job.pid
+
+    def test_job_completes_after_duration(self, rm, sim):
+        handle = reserve(rm)
+        job = rm.launch("simulation", handle, duration=50.0)
+        sim.run(until=51.0)
+        assert rm.job(job.job_id).state is JobState.COMPLETED
+        # Completion cancels the reservation and frees capacity.
+        assert rm.available(60, 100).cpu == 26
+
+    def test_completion_listener_fires(self, rm, sim):
+        ended = []
+        rm.subscribe_job_end(lambda job: ended.append(job.state))
+        handle = reserve(rm)
+        rm.launch("svc", handle, duration=10.0)
+        sim.run(until=11.0)
+        assert ended == [JobState.COMPLETED]
+
+    def test_kill_frees_resources(self, rm, sim):
+        handle = reserve(rm)
+        job = rm.launch("svc", handle)
+        rm.kill(job.job_id)
+        assert rm.job(job.job_id).state is JobState.KILLED
+        assert rm.available(0, 100).cpu == 26
+
+    def test_kill_unknown_job(self, rm):
+        with pytest.raises(ResourceError):
+            rm.kill(424242)
+
+    def test_dsrt_contract_opened_and_released(self, rm, sim):
+        handle = reserve(rm)
+        job = rm.launch("svc", handle, duration=10.0, dsrt_fraction=0.5)
+        assert rm.dsrt.contract(job.pid).reserved_fraction == 0.5
+        sim.run(until=11.0)
+        with pytest.raises(ResourceError):
+            rm.dsrt.contract(job.pid)
+
+    def test_running_jobs(self, rm, sim):
+        first = rm.launch("a", reserve(rm, cpu=5), duration=10.0)
+        second = rm.launch("b", reserve(rm, cpu=5), duration=99.0)
+        sim.run(until=20.0)
+        running = rm.running_jobs()
+        assert [job.job_id for job in running] == [second.job_id]
+        assert first.finished_at == 10.0
+
+
+class TestUsageSampling:
+    def test_contracts_shrink_toward_usage(self, rm, sim):
+        from repro.sim.random import RandomSource
+        handle = reserve(rm, cpu=4)
+        job = rm.launch("svc", handle, duration=500.0, dsrt_fraction=0.9)
+        rm.start_usage_sampling(5.0, RandomSource(1), mean_usage=0.3,
+                                burstiness=0.05)
+        sim.run(until=100.0)
+        contract = rm.dsrt.contract(job.pid)
+        # 0.9 reserved vs ~0.3 used: the adjustment rounds shrank it.
+        assert contract.reserved_fraction < 0.6
+
+    def test_sampling_survives_job_completion(self, rm, sim):
+        from repro.sim.random import RandomSource
+        handle = reserve(rm, cpu=4)
+        rm.launch("svc", handle, duration=20.0, dsrt_fraction=0.5)
+        rm.start_usage_sampling(5.0, RandomSource(2))
+        sim.run(until=100.0)  # keeps sampling after the job ended
+        assert rm.running_jobs() == []
+
+    def test_sampling_is_deterministic(self):
+        from repro.sim.engine import Simulator
+        from repro.sim.random import RandomSource
+
+        def run(seed):
+            sim = Simulator()
+            machine = Machine("m", 32, grid_nodes=26)
+            rm = ComputeResourceManager(sim, machine)
+            handle = rm.gara.reservation_create(
+                reservation_rsl(ResourceVector(cpu=4), 0.0, 500.0))
+            rm.gara.reservation_commit(handle)
+            job = rm.launch("svc", handle, duration=400.0,
+                            dsrt_fraction=0.9)
+            rm.start_usage_sampling(5.0, RandomSource(seed))
+            sim.run(until=200.0)
+            return rm.dsrt.contract(job.pid).reserved_fraction
+
+        assert run(7) == run(7)
+
+    def test_invalid_interval(self, rm):
+        from repro.sim.random import RandomSource
+        with pytest.raises(ResourceError):
+            rm.start_usage_sampling(0.0, RandomSource(0))
+
+
+class TestCapacityTracking:
+    def test_node_failure_shrinks_slot_table(self, rm):
+        rm.machine.fail_nodes(3)
+        assert rm.capacity().cpu == 23
+
+    def test_capacity_listener_gets_delta(self, rm):
+        deltas = []
+        rm.subscribe_capacity(deltas.append)
+        rm.machine.fail_nodes(3)
+        rm.machine.repair_nodes()
+        assert deltas == [-3, 3]
+
+    def test_utilization(self, rm):
+        reserve(rm, cpu=13)
+        assert rm.utilization() == pytest.approx(0.5)

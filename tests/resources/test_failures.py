@@ -1,0 +1,84 @@
+"""Tests for failure injection (repro.resources.failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources.failures import FailureInjector, FailureSchedule
+from repro.resources.machine import Machine
+from repro.sim.random import RandomSource
+
+
+class TestFailureSchedule:
+    def test_deterministic_events_fire(self, sim):
+        machine = Machine("m", 10)
+        schedule = FailureSchedule.of((5.0, -3), (10.0, 3))
+        schedule.apply(sim, machine)
+        sim.run(until=6.0)
+        assert machine.up_nodes() == 7
+        sim.run(until=11.0)
+        assert machine.up_nodes() == 10
+
+    def test_events_sorted(self):
+        schedule = FailureSchedule.of((10.0, 3), (5.0, -3))
+        assert schedule.events == ((5.0, -3), (10.0, 3))
+
+
+class TestFailureInjector:
+    def test_injects_and_repairs(self, sim):
+        machine = Machine("m", 20)
+        injector = FailureInjector(sim, machine, RandomSource(1),
+                                   mtbf=10.0, mttr=5.0)
+        injector.start()
+        sim.run(until=500.0)
+        assert injector.failures_injected > 10
+        # Repairs keep pace: most nodes are up at any given time.
+        assert machine.up_nodes() >= 10
+
+    def test_respects_concurrency_cap(self, sim):
+        machine = Machine("m", 20)
+        injector = FailureInjector(sim, machine, RandomSource(2),
+                                   mtbf=1.0, mttr=1000.0,
+                                   max_concurrent_failures=3)
+        injector.start()
+        sim.run(until=200.0)
+        assert machine.total_nodes - machine.up_nodes() <= 3
+
+    def test_never_sinks_last_node(self, sim):
+        machine = Machine("m", 3)
+        injector = FailureInjector(sim, machine, RandomSource(3),
+                                   mtbf=0.5, mttr=1e9)
+        injector.start()
+        sim.run(until=100.0)
+        assert machine.up_nodes() >= 1
+
+    def test_stop_halts_new_failures(self, sim):
+        machine = Machine("m", 20)
+        injector = FailureInjector(sim, machine, RandomSource(4),
+                                   mtbf=5.0, mttr=1.0)
+        injector.start()
+        sim.run(until=50.0)
+        injector.stop()
+        count = injector.failures_injected
+        sim.run(until=200.0)
+        assert injector.failures_injected == count
+
+    def test_determinism_across_runs(self):
+        from repro.sim.engine import Simulator
+
+        def run(seed):
+            sim = Simulator()
+            machine = Machine("m", 20)
+            injector = FailureInjector(sim, machine, RandomSource(seed),
+                                       mtbf=10.0, mttr=5.0)
+            injector.start()
+            sim.run(until=300.0)
+            return injector.failures_injected, machine.up_nodes()
+
+        assert run(7) == run(7)
+
+    def test_invalid_rates_rejected(self, sim):
+        machine = Machine("m", 4)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, machine, RandomSource(0), mtbf=0.0,
+                            mttr=1.0)

@@ -1,0 +1,84 @@
+"""Tests for generator-based processes (repro.sim.process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Timeout
+
+
+class TestProcesses:
+    def test_process_sleeps_and_resumes(self, sim):
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield Timeout(3.0)
+            log.append(("mid", sim.now))
+            yield Timeout(2.0)
+            log.append(("end", sim.now))
+
+        sim.spawn(worker())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 3.0), ("end", 5.0)]
+
+    def test_process_finished_flag(self, sim):
+        def worker():
+            yield Timeout(1.0)
+
+        process = sim.spawn(worker())
+        assert not process.finished
+        sim.run()
+        assert process.finished
+
+    def test_process_return_value_captured(self, sim):
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        process = sim.spawn(worker())
+        sim.run()
+        assert process.result == 42
+
+    def test_interleaved_processes(self, sim):
+        log = []
+
+        def worker(name, delay):
+            for _ in range(2):
+                yield Timeout(delay)
+                log.append((name, sim.now))
+
+        sim.spawn(worker("fast", 1.0))
+        sim.spawn(worker("slow", 3.0))
+        sim.run()
+        assert log == [("fast", 1.0), ("fast", 2.0),
+                       ("slow", 3.0), ("slow", 6.0)]
+
+    def test_interrupt_stops_process(self, sim):
+        log = []
+
+        def worker():
+            yield Timeout(1.0)
+            log.append("a")
+            yield Timeout(1.0)
+            log.append("b")
+
+        process = sim.spawn(worker())
+        sim.run(until=1.5)
+        process.interrupt()
+        sim.run()
+        assert log == ["a"]
+        assert process.finished
+
+    def test_yielding_non_timeout_raises(self, sim):
+        def bad():
+            yield 5.0  # not a Timeout
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)

@@ -1,0 +1,162 @@
+"""Stateful fuzz tests for the negotiation protocol and the session
+lifecycle: random action sequences can never corrupt either state
+machine — every call either succeeds legally or raises the documented
+error, and the observable state stays consistent."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import LifecycleError, NegotiationError
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.lifecycle import (
+    PHASE_FUNCTIONS,
+    Phase,
+    QoSFunction,
+    QoSSession,
+)
+from repro.sla.negotiation import Negotiation, NegotiationState, Offer, ServiceRequest
+
+
+def _request():
+    spec = QoSSpecification.of(range_parameter(Dimension.CPU, 2, 8))
+    return ServiceRequest(client="fuzz", service_name="svc",
+                          service_class=ServiceClass.CONTROLLED_LOAD,
+                          specification=spec, start=0.0, end=10.0)
+
+
+def _offers():
+    return [Offer(point={Dimension.CPU: 8.0}, price_rate=8.0),
+            Offer(point={Dimension.CPU: 2.0}, price_rate=2.0)]
+
+
+class NegotiationMachine(RuleBasedStateMachine):
+    """Random propose/accept/reject/counter interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.negotiation = Negotiation(_request())
+
+    def _attempt(self, action) -> None:
+        state_before = self.negotiation.state
+        try:
+            action()
+        except NegotiationError:
+            # Illegal for the current state: state must be unchanged.
+            assert self.negotiation.state is state_before
+
+    @rule()
+    def propose(self):
+        self._attempt(lambda: self.negotiation.propose(_offers()))
+
+    @rule()
+    def propose_empty(self):
+        self._attempt(lambda: self.negotiation.propose([]))
+
+    @rule()
+    def accept(self):
+        self._attempt(self.negotiation.accept)
+
+    @rule()
+    def reject(self):
+        self._attempt(self.negotiation.reject)
+
+    @rule(budget=st.floats(min_value=0.1, max_value=20.0,
+                           allow_nan=False))
+    def counter(self, budget):
+        self._attempt(lambda: self.negotiation.counter(
+            budget_rate=budget))
+
+    @rule()
+    def build(self):
+        try:
+            sla = self.negotiation.build_sla(sla_id=1)
+        except NegotiationError:
+            assert self.negotiation.state is not NegotiationState.ACCEPTED
+        else:
+            assert self.negotiation.state is NegotiationState.ACCEPTED
+            assert sla.agreed_point == self.negotiation.accepted_offer.point
+
+    @invariant()
+    def accepted_offer_consistency(self):
+        if self.negotiation.state is NegotiationState.ACCEPTED:
+            assert self.negotiation.accepted_offer is not None
+        if self.negotiation.state in (NegotiationState.REQUESTED,
+                                      NegotiationState.FAILED):
+            assert self.negotiation.accepted_offer is None
+
+    @invariant()
+    def offers_only_when_offered_or_after(self):
+        if self.negotiation.state is NegotiationState.REQUESTED:
+            assert self.negotiation.offers == []
+
+
+NegotiationMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestNegotiationFuzz = NegotiationMachine.TestCase
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    """Random phase transitions and function executions."""
+
+    def __init__(self):
+        super().__init__()
+        self.session = QoSSession(session_id=1)
+
+    def _attempt(self, action) -> None:
+        phase_before = self.session.phase
+        history_before = len(self.session.history)
+        try:
+            action()
+        except LifecycleError:
+            assert self.session.phase is phase_before
+            assert len(self.session.history) == history_before
+
+    @rule()
+    def enter_active(self):
+        self._attempt(self.session.enter_active)
+
+    @rule(cause=st.sampled_from(["expiration", "violation",
+                                 "completion", "client-request",
+                                 "nonsense"]))
+    def enter_clearing(self, cause):
+        self._attempt(lambda: self.session.enter_clearing(cause))
+
+    @rule()
+    def close(self):
+        self._attempt(self.session.close)
+
+    @rule(function=st.sampled_from(list(QoSFunction)))
+    def perform(self, function):
+        self._attempt(lambda: self.session.perform(function))
+
+    @invariant()
+    def history_matches_phase_legality(self):
+        # Every recorded function must have been legal in *some* phase
+        # the session has passed through; spot-check the last one
+        # against the current-or-earlier phases.
+        for _time, function in self.session.history[-3:]:
+            assert any(function in PHASE_FUNCTIONS[phase]
+                       for phase in Phase)
+
+    @invariant()
+    def clearing_cause_set_iff_cleared(self):
+        if self.session.phase in (Phase.CLEARING, Phase.CLOSED):
+            assert self.session.clearing_cause in (
+                "expiration", "violation", "completion", "client-request")
+        if self.session.phase is Phase.ESTABLISHMENT:
+            assert self.session.clearing_cause is None
+
+
+LifecycleMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestLifecycleFuzz = LifecycleMachine.TestCase

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("quickstart", "example56", "diagram", "sweep",
+                        "reserve"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--loads", "0.5", "1.0", "--horizon", "200",
+             "--seed", "3"])
+        assert args.loads == [0.5, 1.0]
+        assert args.horizon == 200.0
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_example56(self, capsys):
+        assert main(["example56"]) == 0
+        out = capsys.readouterr().out
+        assert "t3" in out
+        assert "guarantees always honored: True" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--loads", "0.6", "--horizon", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "proportional" in out
+
+    def test_reserve_small(self, capsys):
+        assert main(["reserve", "--horizon", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Ca" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "SLA" in out
+        assert "<Service-Specific>" in out
+
+    def test_diagram(self, capsys):
+        assert main(["diagram"]) == 0
+        out = capsys.readouterr().out
+        assert "Client" in out and "AQoS" in out and "Service" in out
+        assert "QueryServices" in out

@@ -1,0 +1,58 @@
+"""Every example script must run clean — examples are part of the API.
+
+Each example is executed in-process (fast: everything is simulated)
+and its stdout is checked for the artifacts it promises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "<Service-Specific>" in out       # Table 1
+        assert "<QoS_Levels>" in out             # Table 3
+        assert "Broker activity log" in out      # Figure 6 view
+        assert "completed" in out or "expired" in out
+
+    def test_collaborative_visualization(self, capsys):
+        out = run_example("collaborative_visualization", capsys)
+        assert "Composite SLA established" in out
+        assert "three sub-SLAs" in out
+        assert "t3" in out                        # the replayed table
+
+    def test_adaptive_degradation(self, capsys):
+        out = run_example("adaptive_degradation", capsys)
+        assert "congested" in out
+        assert "Scenario 3" in out or "Scenario 2" in out \
+            or "restore" in out
+        assert "net revenue" in out
+
+    def test_provider_revenue(self, capsys):
+        out = run_example("provider_revenue", capsys)
+        assert "optimizer runs" in out
+        assert "greedy rev" in out
+        assert "exact rev" in out
+
+    def test_multidomain_grid(self, capsys):
+        out = run_example("multidomain_grid", capsys)
+        assert "cross-domain guaranteed sessions" in out
+        assert "domain1" in out and "domain3" in out
+        assert "without a single SLA penalty" in out

@@ -1,0 +1,73 @@
+"""Source-hygiene checks that keep the library reviewable.
+
+These are deliberately coarse (no external linters are available in
+the offline environment) but catch the regressions that matter most in
+review: unused imports, stray debug prints, and mutable default
+arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+MODULES = sorted(SRC.rglob("*.py"))
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
+class TestModuleHygiene:
+    def test_no_unused_imports(self, path):
+        """Every imported name must appear somewhere else in the file
+        (including inside quoted annotations and docstrings referencing
+        it via ``:class:`` roles)."""
+        text = path.read_text()
+        tree = ast.parse(text)
+        lines = text.splitlines()
+        offenders = []
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [(alias.asname or alias.name).split(".")[0]
+                         for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [alias.asname or alias.name
+                         for alias in node.names]
+            for name in names:
+                if name in ("annotations", "*"):
+                    continue
+                statement = "\n".join(
+                    lines[node.lineno - 1:(node.end_lineno or node.lineno)])
+                total = len(re.findall(rf"\b{re.escape(name)}\b", text))
+                in_statement = len(re.findall(rf"\b{re.escape(name)}\b",
+                                              statement))
+                if total <= in_statement:
+                    offenders.append(f"{name} (line {node.lineno})")
+        assert not offenders, f"unused imports: {offenders}"
+
+    def test_no_debug_prints(self, path):
+        """Library modules never print directly — reporting goes
+        through traces, renderers or the CLI."""
+        if path.name == "cli.py" or "experiments" in path.parts:
+            pytest.skip("CLI and experiment renderers print by design")
+        tree = ast.parse(path.read_text())
+        calls = [node.lineno for node in ast.walk(tree)
+                 if isinstance(node, ast.Call)
+                 and isinstance(node.func, ast.Name)
+                 and node.func.id == "print"]
+        assert not calls, f"print() calls at lines {calls}"
+
+    def test_no_mutable_default_arguments(self, path):
+        """Functions never default to mutable literals."""
+        tree = ast.parse(path.read_text())
+        offenders = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in (list(node.args.defaults)
+                                + [d for d in node.args.kw_defaults if d]):
+                    if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                        offenders.append(f"{node.name} (line {node.lineno})")
+        assert not offenders, f"mutable defaults: {offenders}"

@@ -1,0 +1,184 @@
+"""The paper's claims, each pinned to executable evidence.
+
+Every test quotes one claim from the paper (section in parentheses)
+and demonstrates it on the reproduction. Most of these behaviours are
+covered in more depth by the per-module suites; this module is the
+claims-to-evidence index a reviewer reads first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPartition
+from repro.core.testbed import build_testbed
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter, range_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.document import AdaptationOptions, SlaStatus
+from repro.sla.negotiation import ServiceRequest
+
+
+def guaranteed(client, cpu, end=100.0, **options):
+    spec = QoSSpecification.of(exact_parameter(Dimension.CPU, cpu))
+    return ServiceRequest(client=client,
+                          service_name="simulation-service",
+                          service_class=ServiceClass.GUARANTEED,
+                          specification=spec, start=0.0, end=end,
+                          adaptation=AdaptationOptions(**options))
+
+
+def controlled(client, floor, best, end=100.0, **options):
+    spec = QoSSpecification.of(range_parameter(Dimension.CPU, floor, best))
+    return ServiceRequest(client=client,
+                          service_name="simulation-service",
+                          service_class=ServiceClass.CONTROLLED_LOAD,
+                          specification=spec, start=0.0, end=end,
+                          adaptation=AdaptationOptions(**options))
+
+
+class TestAbstractClaims:
+    def test_compensates_for_qos_degradation(self, testbed):
+        """'The proposed QoS adaptation scheme is used to compensate
+        for QoS degradation' (abstract): a failure within the adaptive
+        reserve leaves every guarantee intact."""
+        outcome = testbed.broker.request_service(guaranteed("a", 14))
+        assert outcome.accepted
+        testbed.machine.fail_nodes(3)
+        holding = testbed.broker.partition_holding(outcome.sla.sla_id)
+        assert holding.served == 14.0
+
+    def test_optimizes_resource_utilization(self, testbed):
+        """'...and optimize resource utilization, by increasing the
+        number of requests managed' (abstract): squeezing degradable
+        sessions admits requests a rigid broker would refuse."""
+        broker = testbed.broker
+        elastic = broker.request_service(
+            controlled("e", 1, 14, accept_degradation=True))
+        filler = broker.request_service(guaranteed("f", 10))
+        assert elastic.accepted and filler.accepted
+        newcomer = broker.request_service(guaranteed("n", 4))
+        assert newcomer.accepted  # only possible via the squeeze
+
+
+class TestSection51ServiceClasses:
+    def test_guaranteed_is_exact_and_pinned(self, testbed):
+        """'The service provider is committed to deliver the service
+        with the exact QoS specification described in the SLA' (5.1)."""
+        outcome = testbed.broker.request_service(guaranteed("a", 10))
+        from repro.errors import SLAError
+        with pytest.raises(SLAError):
+            outcome.sla.set_delivered_point({Dimension.CPU: 5.0})
+
+    def test_controlled_load_moves_within_range(self, testbed):
+        """'The service provider must now be able to offer QoS within
+        the specified range' (5.1)."""
+        outcome = testbed.broker.request_service(controlled("a", 2, 8))
+        testbed.broker.apply_point(outcome.sla, {Dimension.CPU: 4.0})
+        assert outcome.sla.delivered_point[Dimension.CPU] == 4.0
+
+    def test_best_effort_has_no_sla(self, testbed):
+        """'In the best effort service, there is no SLA associated
+        with the service request' (5.1)."""
+        assert testbed.broker.request_best_effort("student", 4)
+        assert testbed.repository.all() == []
+
+
+class TestSection52AdaptationTerms:
+    def test_promotions_only_in_controlled_load(self):
+        """'Only in the controlled load class is there an optional
+        element related to promotion offers' (5.2)."""
+        assert ServiceClass.CONTROLLED_LOAD.may_receive_promotions
+        assert not ServiceClass.GUARANTEED.may_receive_promotions
+        assert not ServiceClass.BEST_EFFORT.may_receive_promotions
+
+
+class TestSection54Algorithm:
+    def test_admission_rule(self):
+        """'If Σg(u) + g(u) <= Cg then SLA guarantees ... can be
+        honored' (Algorithm 1)."""
+        partition = CapacityPartition(15, 6, 5)
+        partition.admit_guaranteed("u", 10)
+        assert partition.available_guaranteed_resource(5)
+        assert not partition.available_guaranteed_resource(6)
+
+    def test_advantage_a_never_underutilized(self):
+        """'Resources are never under-utilized due to the dynamic
+        property of the algorithm. The extra reserved capacity is used
+        by best effort users as long as it is not needed' (5.4)."""
+        partition = CapacityPartition(15, 6, 5)
+        partition.set_best_effort_demand("be", 26)
+        assert partition.idle_capacity() == 0.0
+        partition.admit_guaranteed("g", 10)
+        partition.set_guaranteed_demand("g", 10)
+        # The borrower was pre-empted, not the guarantee refused.
+        assert partition.guaranteed_holding("g").served == 10.0
+        assert partition.best_effort_holding("be").served == 16.0
+
+    def test_advantage_b_best_effort_minimum(self):
+        """'A minimum resource capacity is allocated for best effort
+        users, therefore users with no SLAs can always make use of the
+        best effort resources' (5.4)."""
+        partition = CapacityPartition(15, 6, 5, best_effort_min=2)
+        partition.admit_guaranteed("g", 15)
+        partition.set_guaranteed_demand("g", 15)
+        partition.apply_failure(11)  # massive failure
+        partition.set_best_effort_demand("be", 5)
+        assert partition.best_effort_holding("be").served >= 2.0
+
+
+class TestSection31ReservationProtocol:
+    def test_temporary_reservation_auto_cancels(self, testbed):
+        """'If the RS does not receive such confirmation within the
+        pre-defined period of time, it instructs GARA to cancel the
+        reservation' (3.1)."""
+        from repro.gara.reservation import ReservationState
+        from repro.qos.vector import ResourceVector
+        from repro.rsl.builder import reservation_rsl
+        gara = testbed.compute_rm.gara
+        handle = gara.reservation_create(
+            reservation_rsl(ResourceVector(cpu=5), 0.0, 100.0))
+        testbed.sim.run(until=gara.confirm_timeout + 1.0)
+        assert gara.reservation_status(handle).state is \
+            ReservationState.CANCELLED
+
+    def test_bind_claims_by_process_id(self, testbed):
+        """'The process ID of the launched process is the only
+        parameter required' to claim a reservation (3.1)."""
+        outcome = testbed.broker.request_service(guaranteed("a", 4))
+        resources = testbed.broker.allocation.get(outcome.sla.sla_id)
+        reservation = testbed.compute_rm.gara.reservation_status(
+            resources.reservation.compute_handle)
+        assert reservation.bound_pid == resources.job.pid
+
+
+class TestSection4Responses:
+    def test_response_a_restore(self, testbed):
+        """Adaptation response (a): 'restoring the agreed on QoS' (4)."""
+        broker = testbed.broker
+        outcome = broker.request_service(
+            controlled("a", 2, 8, accept_degradation=True))
+        broker.apply_point(outcome.sla, outcome.sla.floor_point())
+        broker.scenarios.on_service_termination()
+        assert not outcome.sla.is_degraded()
+
+    def test_response_c_terminate_on_major_degradation(self, testbed):
+        """Adaptation response (c): 'terminating the service being
+        delivered due to a major QoS degradation' (4)."""
+        from repro.monitoring.notifications import DegradationNotice
+        from repro.sla.violations import (
+            ConformanceReport,
+            MeasuredQoS,
+            Violation,
+        )
+        broker = testbed.broker
+        outcome = broker.request_service(guaranteed("a", 10))
+        sla_id = outcome.sla.sla_id
+        violation = Violation(sla_id=sla_id, dimension=Dimension.CPU,
+                              expected=10.0, measured=1.0, severity=0.9)
+        report = ConformanceReport(
+            sla_id=sla_id, time=0.0, violations=(violation,),
+            measured=MeasuredQoS(sla_id=sla_id, values={}))
+        broker.scenarios.on_degradation(DegradationNotice(
+            sla_id=sla_id, time=0.0, source="sla-verif", report=report))
+        assert outcome.sla.status is SlaStatus.TERMINATED

@@ -1,0 +1,114 @@
+"""Public-API surface sanity: every ``__all__`` name resolves, every
+public item is documented, the error hierarchy is coherent."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.qos",
+    "repro.xmlmsg",
+    "repro.rsl",
+    "repro.gara",
+    "repro.resources",
+    "repro.network",
+    "repro.registry",
+    "repro.sla",
+    "repro.monitoring",
+    "repro.core",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), \
+                f"{package_name}.__all__ lists missing name {name!r}"
+
+    def test_all_is_sorted(self, package_name):
+        module = importlib.import_module(package_name)
+        names = list(getattr(module, "__all__", []))
+        assert names == sorted(names), \
+            f"{package_name}.__all__ is not sorted"
+
+    def test_package_docstring(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_exported_items_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name)
+            if inspect.isclass(item) or inspect.isfunction(item):
+                assert inspect.getdoc(item), \
+                    f"{package_name}.{name} has no docstring"
+
+    def test_public_methods_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name)
+            if not inspect.isclass(item):
+                continue
+            for method_name, method in inspect.getmembers(
+                    item, predicate=inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__module__ is None or \
+                        not method.__module__.startswith("repro"):
+                    continue  # inherited from stdlib bases
+                if not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, \
+            f"{package_name}: undocumented public methods: {undocumented}"
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_base(self):
+        for name in dir(errors):
+            item = getattr(errors, name)
+            if (inspect.isclass(item) and issubclass(item, Exception)
+                    and item.__module__ == "repro.errors"):
+                assert issubclass(item, errors.GQoSMError), name
+
+    def test_lookup_style_errors_are_key_errors(self):
+        assert issubclass(errors.ReservationNotFound, KeyError)
+        assert issubclass(errors.ServiceNotFound, KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        for error in (errors.UnitError, errors.RSLError,
+                      errors.QoSSpecificationError):
+            assert issubclass(error, ValueError)
+
+    def test_layering(self):
+        assert issubclass(errors.CapacityError, errors.ReservationError)
+        assert issubclass(errors.NegotiationError, errors.SLAError)
+        assert issubclass(errors.NetworkError, errors.ResourceError)
+
+    def test_one_except_catches_everything(self):
+        with pytest.raises(errors.GQoSMError):
+            raise errors.CapacityError("full")
+        with pytest.raises(errors.GQoSMError):
+            raise errors.LifecycleError("bad phase")
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_testbed_builder(self):
+        testbed = repro.build_testbed()
+        assert testbed.partition.total == 26

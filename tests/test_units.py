@@ -1,0 +1,179 @@
+"""Tests for quantity parsing and rendering (repro.units)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestParseCpu:
+    def test_paper_table1_form(self):
+        assert units.parse_cpu("4 CPU") == 4
+
+    def test_paper_table4_form_with_qualifier(self):
+        assert units.parse_cpu("55 nodes on Linux OS") == 55
+
+    def test_bare_number(self):
+        assert units.parse_cpu("10") == 10
+
+    def test_processors_word(self):
+        assert units.parse_cpu("26 processors") == 26
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UnitError):
+            units.parse_cpu("many CPUs")
+
+    def test_rejects_empty(self):
+        with pytest.raises(UnitError):
+            units.parse_cpu("")
+
+
+class TestParseMemory:
+    def test_paper_megabytes(self):
+        assert units.parse_memory_mb("64MB") == 64.0
+
+    def test_spaced_unit(self):
+        assert units.parse_memory_mb("48 MB") == 48.0
+
+    def test_gigabytes(self):
+        assert units.parse_memory_mb("2GB") == 2048.0
+
+    def test_kilobytes(self):
+        assert units.parse_memory_mb("1024KB") == 1.0
+
+    def test_terabytes(self):
+        assert units.parse_memory_mb("1TB") == 1024.0 * 1024.0
+
+    def test_case_insensitive(self):
+        assert units.parse_memory_mb("10gb") == 10240.0
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(UnitError):
+            units.parse_memory_mb("10 parsecs")
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.parse_memory_mb("-5MB")
+
+
+class TestParseBandwidth:
+    def test_paper_mbps(self):
+        assert units.parse_bandwidth_mbps("10 Mbps") == 10.0
+
+    def test_paper_622(self):
+        assert units.parse_bandwidth_mbps("622 Mbps") == 622.0
+
+    def test_gbps(self):
+        assert units.parse_bandwidth_mbps("1 Gbps") == 1000.0
+
+    def test_kbps(self):
+        assert units.parse_bandwidth_mbps("500 kbps") == 0.5
+
+    def test_rejects_unknown(self):
+        with pytest.raises(UnitError):
+            units.parse_bandwidth_mbps("10 florps")
+
+
+class TestParseDelay:
+    def test_paper_milliseconds(self):
+        assert units.parse_delay_ms("10ms") == 10.0
+
+    def test_seconds(self):
+        assert units.parse_delay_ms("2s") == 2000.0
+
+    def test_microseconds(self):
+        assert units.parse_delay_ms("1500us") == 1.5
+
+
+class TestParsePercentage:
+    def test_percent(self):
+        assert units.parse_percentage("10%") == pytest.approx(0.1)
+
+    def test_fraction(self):
+        assert units.parse_percentage("0.05") == pytest.approx(0.05)
+
+    def test_rejects_over_100(self):
+        with pytest.raises(UnitError):
+            units.parse_percentage("150%")
+
+
+class TestBounds:
+    def test_paper_less_than(self):
+        bound = units.parse_bound("LessThan 10%")
+        assert bound.relation == "<"
+        assert bound.value == pytest.approx(0.1)
+
+    def test_satisfied_by(self):
+        bound = units.parse_bound("LessThan 10%")
+        assert bound.satisfied_by(0.05)
+        assert not bound.satisfied_by(0.15)
+        assert not bound.satisfied_by(0.1)  # strict
+
+    def test_at_least(self):
+        bound = units.parse_bound("AtLeast 50%")
+        assert bound.satisfied_by(0.5)
+        assert not bound.satisfied_by(0.49)
+
+    def test_round_trip(self):
+        original = "LessThan 10%"
+        assert units.render_bound(units.parse_bound(original)) == original
+
+    def test_unknown_word(self):
+        with pytest.raises(UnitError):
+            units.parse_bound("Roughly 10%")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(UnitError):
+            units.Bound("~", 0.1)
+
+
+class TestRendering:
+    def test_cpu(self):
+        assert units.render_cpu(4) == "4 CPU"
+
+    def test_memory_mb(self):
+        assert units.render_memory_mb(64.0) == "64MB"
+
+    def test_memory_promotes_to_gb(self):
+        assert units.render_memory_mb(2048.0) == "2GB"
+
+    def test_bandwidth(self):
+        assert units.render_bandwidth_mbps(10.0) == "10 Mbps"
+
+    def test_bandwidth_fractional(self):
+        assert units.render_bandwidth_mbps(9.5) == "9.5 Mbps"
+
+    def test_delay(self):
+        assert units.render_delay_ms(10.0) == "10ms"
+
+    def test_percentage(self):
+        assert units.render_percentage(0.1) == "10%"
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_cpu_round_trip(self, count):
+        assert units.parse_cpu(units.render_cpu(count)) == count
+
+    @given(st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_memory_round_trip(self, megabytes):
+        rendered = units.render_memory_mb(megabytes)
+        assert units.parse_memory_mb(rendered) == pytest.approx(
+            megabytes, rel=1e-4, abs=1e-4)
+
+    @given(st.floats(min_value=0.0, max_value=1e5,
+                     allow_nan=False, allow_infinity=False))
+    def test_bandwidth_round_trip(self, mbps):
+        rendered = units.render_bandwidth_mbps(mbps)
+        assert units.parse_bandwidth_mbps(rendered) == pytest.approx(
+            mbps, rel=1e-4, abs=1e-4)
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_percentage_round_trip(self, percent):
+        fraction = percent / 100.0
+        rendered = units.render_percentage(fraction)
+        assert units.parse_percentage(rendered) == pytest.approx(fraction)

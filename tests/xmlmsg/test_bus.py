@@ -1,0 +1,105 @@
+"""Tests for the in-process message bus (repro.xmlmsg.bus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MessageError
+from repro.sim.trace import TraceRecorder
+from repro.xmlmsg.bus import MessageBus
+from repro.xmlmsg.document import element, subelement
+from repro.xmlmsg.envelope import Envelope
+
+
+@pytest.fixture
+def bus(sim):
+    return MessageBus(sim)
+
+
+def request_envelope(action="query", recipient="server"):
+    body = element("Query")
+    subelement(body, "Name", "render*")
+    return Envelope(sender="client", recipient=recipient,
+                    action=action, body=body)
+
+
+class TestRequestResponse:
+    def test_round_trip(self, bus):
+        server = bus.endpoint("server")
+
+        def handler(envelope):
+            assert envelope.body.find("Name").text == "render*"
+            reply_body = element("Result", "ok")
+            return envelope.reply("query_result", reply_body)
+
+        server.on("query", handler)
+        response = bus.request(request_envelope())
+        assert response.action == "query_result"
+        assert response.body.text == "ok"
+        assert response.recipient == "client"
+
+    def test_handler_sees_wire_form_not_sender_objects(self, bus):
+        server = bus.endpoint("server")
+        seen = {}
+
+        def handler(envelope):
+            seen["body"] = envelope.body
+            return envelope.reply("ok", element("R"))
+
+        server.on("query", handler)
+        original = request_envelope()
+        bus.request(original)
+        assert seen["body"] is not original.body
+
+    def test_unknown_endpoint(self, bus):
+        with pytest.raises(MessageError):
+            bus.request(request_envelope(recipient="ghost"))
+
+    def test_unknown_action(self, bus):
+        bus.endpoint("server")
+        with pytest.raises(MessageError):
+            bus.request(request_envelope(action="unhandled"))
+
+    def test_handler_returning_none_is_an_error_for_request(self, bus):
+        server = bus.endpoint("server")
+        server.on("query", lambda envelope: None)
+        with pytest.raises(MessageError):
+            bus.request(request_envelope())
+
+    def test_duplicate_endpoint_rejected(self, bus):
+        bus.endpoint("server")
+        with pytest.raises(MessageError):
+            bus.endpoint("server")
+
+
+class TestAsyncDelivery:
+    def test_delivery_after_latency(self, sim):
+        bus = MessageBus(sim, latency=2.0)
+        server = bus.endpoint("server")
+        received = []
+        server.on("notify", lambda env: received.append(sim.now))
+        bus.send_async(request_envelope(action="notify"))
+        assert received == []
+        sim.run()
+        assert received == [2.0]
+
+    def test_explicit_latency_overrides_default(self, sim):
+        bus = MessageBus(sim, latency=2.0)
+        server = bus.endpoint("server")
+        received = []
+        server.on("notify", lambda env: received.append(sim.now))
+        bus.send_async(request_envelope(action="notify"), latency=5.0)
+        sim.run()
+        assert received == [5.0]
+
+
+class TestTracing:
+    def test_messages_are_traced(self, sim):
+        trace = TraceRecorder()
+        bus = MessageBus(sim, trace=trace)
+        server = bus.endpoint("server")
+        server.on("query", lambda env: env.reply("ok", element("R")))
+        bus.request(request_envelope())
+        messages = trace.filter(category="message")
+        assert len(messages) == 1
+        assert "client -> server" in messages[0].message
