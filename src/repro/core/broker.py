@@ -672,7 +672,7 @@ class AQoSBroker:
         headroom = max(0.0, eff_g + eff_a - tier1)
         floors = sum(sla.floor_demand().cpu for sla in adjustable)
         now = self.sim.now
-        free = self.compute_rm.available(now, now + 1e-9)
+        free = self.compute_rm.available_at(now)
         held_memory = sum(sla.delivered_demand().memory_mb
                           for sla in adjustable)
         held_disk = sum(sla.delivered_demand().disk_mb for sla in adjustable)
@@ -789,7 +789,7 @@ class AQoSBroker:
                            f"Cg={self.partition.cg:g}")
         new_demand = QoSSpecification.point_demand(new_best)
         now = self.sim.now
-        free = self.compute_rm.available(now, now + 1e-9)
+        free = self.compute_rm.available_at(now)
         old_demand = sla.delivered_demand()
         compute_delta = ResourceVector(
             cpu=max(0.0, new_demand.cpu - old_demand.cpu),
@@ -800,7 +800,7 @@ class AQoSBroker:
             self.scenarios.free_capacity_for(compute_delta.cpu,
                                              max(0.0, new_committed
                                                  - old_committed))
-            free = self.compute_rm.available(now, now + 1e-9)
+            free = self.compute_rm.available_at(now)
             if not compute_delta.fits_within(free):
                 return False, "insufficient resources for the new QoS"
 

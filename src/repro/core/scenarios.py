@@ -125,7 +125,7 @@ class ScenarioEngine:
                 committed_needed):
             return False
         now = broker.sim.now
-        free = broker.compute_rm.available(now, now + 1e-9)
+        free = broker.compute_rm.available_at(now)
         return cpu_needed <= free.cpu + 1e-9
 
     @staticmethod

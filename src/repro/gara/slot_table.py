@@ -3,28 +3,46 @@
 Reservations claim a :class:`~repro.qos.vector.ResourceVector` over a
 half-open time window ``[start, end)``. The table answers the two
 questions admission control needs — "what is free over this window?"
-and "does this demand fit?" — by scanning the event points (reservation
-starts) inside the window: usage is piecewise constant between event
-points, so the component-wise peak over those points is exact.
+and "does this demand fit?" — from an incrementally maintained
+**sweep-line usage profile**: booked usage is piecewise constant, so
+the table keeps the sorted boundary times (reservation starts and
+ends) together with the total usage of every segment between two
+consecutive boundaries. Point queries (:meth:`usage_at`,
+:meth:`available_at`) are a single binary search, window queries
+(:meth:`peak_usage`, :meth:`available`) are a component-wise maximum
+over the ``k`` segments the window overlaps, and mutations patch only
+the affected segments — O(log n) / O(log n + k) instead of the
+O(n²)-per-query event-point scan the first implementation used (kept
+as :class:`repro.gara._reference.NaiveSlotTable` for differential
+testing).
 
 The table also supports capacity *reduction* (node failures shrink the
 pool in the Section 5.6 example) and reports which windows become
 overcommitted so the adaptation layer can react.
+
+Exactness: segment usage is accumulated with plain float addition in
+mutation order, while the naive scan re-sums entries per query. For
+demands that are exactly representable in binary floating point
+(integers, quarters, …) the two are bit-identical; for arbitrary
+floats they can differ in the last ulp, which every admission
+comparison already absorbs through the ``1e-9`` epsilon in
+:meth:`ResourceVector.fits_within`.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..errors import CapacityError, ReservationNotFound
 from ..qos.vector import ResourceVector
 
-_entry_counter = itertools.count(1)
-
 #: Sentinel end time for open-ended reservations.
 FOREVER = float("inf")
+
+_ZERO_USAGE = (0.0, 0.0, 0.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -47,11 +65,85 @@ class SlotEntry:
 
 
 class SlotTable:
-    """Time-indexed capacity accounting for one resource pool."""
+    """Time-indexed capacity accounting for one resource pool.
+
+    Internally the table maintains three structures that are kept in
+    lock-step by every mutation:
+
+    * ``_entries`` — the booked entries by id (the ledger).
+    * ``_times`` — sorted, distinct boundary times; segment ``i``
+      covers ``[_times[i], _times[i+1])`` (the last segment extends to
+      :data:`FOREVER`), and usage before ``_times[0]`` is zero.
+    * ``_usage`` — one ``(cpu, memory, disk, bandwidth)`` tuple per
+      segment: the total demand booked over that segment.
+
+    ``_boundary_refs`` counts how many entry endpoints sit on each
+    boundary so boundaries disappear (and segments re-merge) exactly
+    when the last entry touching them is released.
+    """
 
     def __init__(self, capacity: ResourceVector) -> None:
         self._capacity = capacity
         self._entries: Dict[int, SlotEntry] = {}
+        self._entry_counter = itertools.count(1)
+        self._times: List[float] = []
+        self._usage: List[Tuple[float, float, float, float]] = []
+        self._boundary_refs: Dict[float, int] = {}
+
+    # ------------------------------------------------------------------
+    # Sweep-line profile maintenance
+    # ------------------------------------------------------------------
+
+    def _insert_boundary(self, time: float) -> None:
+        """Reference-count ``time`` as a boundary, splitting its segment."""
+        refs = self._boundary_refs
+        count = refs.get(time)
+        if count:
+            refs[time] = count + 1
+            return
+        refs[time] = 1
+        pos = bisect_left(self._times, time)
+        self._times.insert(pos, time)
+        self._usage.insert(pos, self._usage[pos - 1] if pos else _ZERO_USAGE)
+
+    def _remove_boundary(self, time: float) -> None:
+        """Drop one reference to ``time``, merging segments at zero."""
+        refs = self._boundary_refs
+        count = refs[time] - 1
+        if count:
+            refs[time] = count
+            return
+        del refs[time]
+        pos = bisect_left(self._times, time)
+        del self._times[pos]
+        del self._usage[pos]
+
+    def _apply_delta(self, entry: SlotEntry, sign: float) -> None:
+        """Add ``sign *`` the entry's demand to every covered segment."""
+        times = self._times
+        lo = bisect_left(times, entry.start)
+        hi = bisect_left(times, entry.end)
+        demand = entry.demand
+        d0 = sign * demand.cpu
+        d1 = sign * demand.memory_mb
+        d2 = sign * demand.disk_mb
+        d3 = sign * demand.bandwidth_mbps
+        usage = self._usage
+        for index in range(lo, hi):
+            u = usage[index]
+            usage[index] = (u[0] + d0, u[1] + d1, u[2] + d2, u[3] + d3)
+
+    def _index_entry(self, entry: SlotEntry) -> None:
+        self._insert_boundary(entry.start)
+        if entry.end != FOREVER:
+            self._insert_boundary(entry.end)
+        self._apply_delta(entry, 1.0)
+
+    def _unindex_entry(self, entry: SlotEntry) -> None:
+        self._apply_delta(entry, -1.0)
+        self._remove_boundary(entry.start)
+        if entry.end != FOREVER:
+            self._remove_boundary(entry.end)
 
     # ------------------------------------------------------------------
     # Capacity
@@ -67,7 +159,8 @@ class SlotTable:
 
         Existing entries are left in place; use
         :meth:`overcommitment_at` to discover windows that no longer
-        fit, and let the adaptation layer decide what to squeeze.
+        fit, and let the adaptation layer decide what to squeeze. The
+        usage profile is capacity-independent, so this is O(1).
         """
         self._capacity = capacity
 
@@ -87,30 +180,71 @@ class SlotTable:
         return [entry for entry in self.entries() if entry.active_at(time)]
 
     def usage_at(self, time: float) -> ResourceVector:
-        """Total demand booked at an instant."""
-        total = ResourceVector.zero()
-        for entry in self._entries.values():
-            if entry.active_at(time):
-                total = total + entry.demand
-        return total
+        """Total demand booked at an instant (one binary search)."""
+        index = bisect_right(self._times, time) - 1
+        if index < 0:
+            return ResourceVector.zero()
+        u = self._usage[index]
+        return ResourceVector(u[0], u[1], u[2], u[3])
 
-    def _event_points(self, start: float, end: float) -> List[float]:
-        points = {start}
-        for entry in self._entries.values():
-            if entry.overlaps(start, end) and entry.start > start:
-                points.add(entry.start)
-        return sorted(points)
+    def usage_profile(self) -> List[Tuple[float, float, ResourceVector]]:
+        """The piecewise-constant profile as ``(start, end, usage)``.
+
+        Segments are returned in time order and cover exactly the span
+        of the boundary index (usage outside it is zero); the final
+        segment's end is :data:`FOREVER`.
+        """
+        times = self._times
+        profile = []
+        for index, start in enumerate(times):
+            end = times[index + 1] if index + 1 < len(times) else FOREVER
+            u = self._usage[index]
+            profile.append((start, end, ResourceVector(u[0], u[1], u[2], u[3])))
+        return profile
 
     def peak_usage(self, start: float, end: float) -> ResourceVector:
-        """Component-wise maximum booked demand over ``[start, end)``."""
-        peak = ResourceVector.zero()
-        for point in self._event_points(start, end):
-            peak = peak.component_max(self.usage_at(point))
-        return peak
+        """Component-wise maximum booked demand over ``[start, end)``.
+
+        A range-max over the segments the window overlaps: usage only
+        rises at reservation starts, so the segment maxima are exactly
+        the event-point samples the naive scan takes.
+        """
+        times = self._times
+        if not times or end <= start:
+            # Degenerate window: the naive scan still samples ``start``
+            # (clamped at zero, like every peak).
+            return ResourceVector.zero().component_max(self.usage_at(start))
+        hi = bisect_left(times, end) - 1
+        if hi < 0:
+            return ResourceVector.zero()
+        lo = bisect_right(times, start) - 1
+        if lo < 0:
+            lo = 0
+        peak0 = peak1 = peak2 = peak3 = 0.0
+        for u in self._usage[lo:hi + 1]:
+            if u[0] > peak0:
+                peak0 = u[0]
+            if u[1] > peak1:
+                peak1 = u[1]
+            if u[2] > peak2:
+                peak2 = u[2]
+            if u[3] > peak3:
+                peak3 = u[3]
+        return ResourceVector(peak0, peak1, peak2, peak3)
 
     def available(self, start: float, end: float) -> ResourceVector:
         """Capacity not yet booked anywhere in ``[start, end)``."""
         return self._capacity - self.peak_usage(start, end)
+
+    def available_at(self, time: float) -> ResourceVector:
+        """Capacity not booked at an instant (the pinhole fast path).
+
+        Equivalent to ``available(time, time + ε)`` without the
+        degenerate window; callers polling "what is free right now"
+        (sensors, the broker's optimizer budget, Scenario 1 retries)
+        should use this.
+        """
+        return self._capacity - self.usage_at(time)
 
     def can_reserve(self, demand: ResourceVector, start: float,
                     end: float) -> bool:
@@ -155,9 +289,10 @@ class SlotTable:
             raise CapacityError(
                 f"demand {demand} exceeds free capacity {free} over "
                 f"[{start}, {end})")
-        entry = SlotEntry(entry_id=next(_entry_counter), demand=demand,
+        entry = SlotEntry(entry_id=next(self._entry_counter), demand=demand,
                           start=start, end=end, label=label)
         self._entries[entry.entry_id] = entry
+        self._index_entry(entry)
         return entry
 
     def release(self, entry: SlotEntry) -> None:
@@ -166,10 +301,11 @@ class SlotTable:
         Raises:
             ReservationNotFound: When the entry is not in the table.
         """
-        if entry.entry_id not in self._entries:
+        stored = self._entries.pop(entry.entry_id, None)
+        if stored is None:
             raise ReservationNotFound(
                 f"slot entry {entry.entry_id} is not booked")
-        del self._entries[entry.entry_id]
+        self._unindex_entry(stored)
 
     def resize(self, entry: SlotEntry, demand: ResourceVector, *,
                force: bool = False) -> SlotEntry:
@@ -189,18 +325,21 @@ class SlotTable:
                                 label=entry.label, force=force)
         except CapacityError:
             self._entries[entry.entry_id] = entry
+            self._index_entry(entry)
             raise
 
     def truncate(self, entry: SlotEntry, end: float) -> SlotEntry:
         """Shorten an entry's window (early release at ``end``)."""
-        if entry.entry_id not in self._entries:
+        stored = self._entries.pop(entry.entry_id, None)
+        if stored is None:
             raise ReservationNotFound(
                 f"slot entry {entry.entry_id} is not booked")
-        del self._entries[entry.entry_id]
+        self._unindex_entry(stored)
         if end <= entry.start:
             return entry
         shortened = SlotEntry(entry_id=entry.entry_id, demand=entry.demand,
                               start=entry.start, end=min(entry.end, end),
                               label=entry.label)
         self._entries[shortened.entry_id] = shortened
+        self._index_entry(shortened)
         return shortened

@@ -75,7 +75,7 @@ class ComputeSensor(Sensor):
         """Capacity, free nodes and utilization right now."""
         now = self._sim.now
         capacity = self._rm.capacity()
-        free = self._rm.available(now, now + 1e-9)
+        free = self._rm.available_at(now)
         return SensorReading(
             sensor=self.name, time=now,
             values={

@@ -102,6 +102,14 @@ class ComputeResourceManager:
         ``QueryComputationResources`` call)."""
         return self._table.available(start, end)
 
+    def available_at(self, time: float) -> ResourceVector:
+        """Instantaneous free capacity (O(log n) slot-table fast path).
+
+        Replaces the ``available(now, now + 1e-9)`` pinhole-window
+        idiom the sensors, optimizer and Scenario 1 retry loop used.
+        """
+        return self._table.available_at(time)
+
     def utilization(self) -> float:
         """Instantaneous CPU utilization in ``[0, 1]``."""
         return self._table.utilization_at(self._sim.now)

@@ -26,6 +26,14 @@ def reserve(rm, cpu=10, end=100.0):
     return handle
 
 
+class TestAvailability:
+    def test_available_at_matches_window_query(self, rm):
+        reserve(rm, cpu=10, end=100.0)
+        assert rm.available_at(0.0).cpu == 16
+        assert rm.available_at(0.0) == rm.available(0.0, 0.0 + 1e-9)
+        assert rm.available_at(100.0).cpu == 26
+
+
 class TestLaunch:
     def test_launch_binds_pid(self, rm):
         handle = reserve(rm)
