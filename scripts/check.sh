@@ -1,0 +1,14 @@
+#!/bin/sh
+# The tier-1 gate: static analysis (strict — warnings and stale
+# baseline entries fail) followed by the test suite.  Both run
+# offline with no external linter dependency.
+set -e
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.analysis (strict) =="
+python -m repro.analysis src --strict
+
+echo "== pytest =="
+python -m pytest -x -q "$@"

@@ -1,0 +1,14 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report.
+        sys.exit(0)

@@ -1,0 +1,115 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the analyzer be adopted on a codebase with known,
+deliberately-unfixed findings: the file records a *fingerprint* per
+finding, and the engine subtracts fingerprinted findings from a run
+before deciding the exit code.  New code therefore starts from zero
+findings without requiring an atomic repo-wide cleanup.
+
+Fingerprints are content-addressed, not line-addressed: the hash
+covers the module path, rule id, the *stripped text* of the offending
+line, and an occurrence index among identical lines.  Inserting or
+deleting unrelated lines does not invalidate the baseline; editing the
+offending line does (which is the point — a touched line must be
+fixed, not grandfathered).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Iterable, List
+
+from ..errors import AnalysisError
+from .core import Finding
+
+#: Schema version of the baseline file.
+VERSION = 1
+
+
+def fingerprint_findings(findings: "Iterable[Finding]") -> "List[Finding]":
+    """Return findings with stable fingerprints filled in.
+
+    Findings sharing ``(path, rule, stripped source line)`` are
+    disambiguated by an occurrence index in line order, so two
+    identical violations in one file baseline independently.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.column,
+                                              f.rule_id))
+    seen: "Dict[tuple, int]" = {}
+    stamped = []
+    for finding in ordered:
+        key = (finding.path, finding.rule_id, finding.source)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.path}\x1f{finding.rule_id}\x1f{finding.source}"
+            f"\x1f{index}".encode("utf-8")).hexdigest()[:16]
+        stamped.append(Finding(
+            rule_id=finding.rule_id, severity=finding.severity,
+            path=finding.path, line=finding.line, column=finding.column,
+            message=finding.message, source=finding.source,
+            fingerprint=digest))
+    return stamped
+
+
+class Baseline:
+    """The set of grandfathered fingerprints."""
+
+    def __init__(self, entries: "Dict[str, Dict[str, object]]") -> None:
+        self.entries = entries
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale(self, findings: "Iterable[Finding]") -> "List[str]":
+        """Baselined fingerprints no longer produced by the code."""
+        live = {finding.fingerprint for finding in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: "Iterable[Finding]") -> "Baseline":
+        entries = {}
+        for finding in fingerprint_findings(findings):
+            entries[finding.fingerprint] = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "source": finding.source,
+                "message": finding.message,
+            }
+        return cls(entries)
+
+
+def load_baseline(path: "pathlib.Path") -> Baseline:
+    """Load a baseline file (:class:`AnalysisError` on schema drift)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != VERSION:
+        raise AnalysisError(
+            f"baseline {path} has unsupported schema "
+            f"(expected version {VERSION})")
+    entries = payload.get("findings", {})
+    if not isinstance(entries, dict):
+        raise AnalysisError(f"baseline {path}: 'findings' must be a mapping")
+    return Baseline(dict(entries))
+
+
+def save_baseline(path: "pathlib.Path", baseline: Baseline) -> None:
+    """Write the baseline with sorted keys for stable diffs."""
+    payload = {
+        "version": VERSION,
+        "tool": "repro.analysis",
+        "findings": {fp: baseline.entries[fp]
+                     for fp in sorted(baseline.entries)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

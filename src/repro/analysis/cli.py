@@ -1,0 +1,111 @@
+"""Command-line front-end: ``python -m repro.analysis`` (or ``qlint``).
+
+Exit codes: ``0`` clean, ``1`` new findings (errors always; warnings
+and stale baseline entries only under ``--strict``), ``2`` usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from ..errors import AnalysisError
+from .baseline import Baseline, load_baseline, save_baseline
+from .core import all_rules
+from .engine import analyze_paths
+from .reporters import render_json, render_text
+
+#: Baseline filename looked up next to the analysed tree by default.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Self-hosted static analysis for the repro library: "
+                    "determinism, units discipline, and SLA invariants.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyse "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"in the current directory, if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings and stale baseline "
+                             "entries too")
+    parser.add_argument("--verbose", action="store_true",
+                        help="show the offending source line under "
+                             "each finding")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the rule catalogue and exit")
+    return parser
+
+
+def _resolve_baseline(args) -> "tuple[Baseline, Optional[pathlib.Path]]":
+    if args.no_baseline:
+        return Baseline.empty(), None
+    if args.baseline:
+        path = pathlib.Path(args.baseline)
+        if path.exists():
+            return load_baseline(path), path
+        return Baseline.empty(), path
+    default = pathlib.Path(DEFAULT_BASELINE)
+    if default.exists():
+        return load_baseline(default), default
+    return Baseline.empty(), default
+
+
+def _list_rules() -> str:
+    lines = ["Rule catalogue:"]
+    for rule in all_rules():
+        lines.append(f"  {rule.rule_id}  [{rule.severity.value:7}] "
+                     f"{rule.title}")
+    lines.append("Suppress inline with '# qlint: disable=ID' or "
+                 "file-wide with '# qlint: disable-file=ID'.")
+    return "\n".join(lines)
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        baseline, baseline_path = _resolve_baseline(args)
+        result = analyze_paths([pathlib.Path(p) for p in args.paths],
+                               baseline=baseline)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or pathlib.Path(DEFAULT_BASELINE)
+        save_baseline(target, Baseline.from_findings(result.findings))
+        print(f"baseline written: {target} "
+              f"({len(result.findings)} finding(s))")
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    if result.parse_errors:
+        return 2
+    failing = list(result.new_errors())
+    if args.strict:
+        failing += result.new_warnings()
+        if result.stale_baseline:
+            return 1
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

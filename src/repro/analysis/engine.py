@@ -1,0 +1,147 @@
+"""The analysis driver: one parse and one AST walk per module.
+
+The engine builds a dispatch table ``node type -> interested rules``
+once per run, then for every module: read, parse (once), scan
+suppressions, and recursively walk the tree dispatching each node to
+the rules registered for its type.  The walk also maintains the
+class/function stacks rules consult for lexical context, so no rule
+ever re-walks or re-parses.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .baseline import Baseline, fingerprint_findings
+from .core import Finding, ModuleContext, Rule, Severity, all_rules
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one engine run over a set of paths."""
+
+    #: Every unsuppressed finding, fingerprinted, in (path, line) order.
+    findings: "List[Finding]" = field(default_factory=list)
+    #: Findings not covered by the baseline — these decide the exit code.
+    new_findings: "List[Finding]" = field(default_factory=list)
+    #: Baselined fingerprints the code no longer produces.
+    stale_baseline: "List[str]" = field(default_factory=list)
+    #: Modules that failed to parse, as ``(path, message)`` pairs.
+    parse_errors: "List[tuple]" = field(default_factory=list)
+    #: Number of modules analysed.
+    module_count: int = 0
+
+    def new_errors(self) -> "List[Finding]":
+        return [f for f in self.new_findings
+                if f.severity == Severity.ERROR.value]
+
+    def new_warnings(self) -> "List[Finding]":
+        return [f for f in self.new_findings
+                if f.severity == Severity.WARNING.value]
+
+
+def iter_python_files(paths: "Sequence[pathlib.Path]") -> "List[pathlib.Path]":
+    """All ``*.py`` files under ``paths``, sorted for determinism."""
+    found = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path.resolve())
+        elif path.is_dir():
+            found.update(p.resolve() for p in path.rglob("*.py"))
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _relpath(path: "pathlib.Path", root: "Optional[pathlib.Path]") -> str:
+    base = (root or pathlib.Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class _Walker:
+    """Single recursive traversal with rule dispatch and scope stacks."""
+
+    def __init__(self, ctx: ModuleContext,
+                 dispatch: "Dict[type, List[Rule]]") -> None:
+        self.ctx = ctx
+        self.dispatch = dispatch
+
+    def walk(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        for rule in self.dispatch.get(type(node), ()):
+            rule.visit(node, ctx)
+        is_class = isinstance(node, ast.ClassDef)
+        is_function = isinstance(node, _SCOPE_NODES)
+        if is_class:
+            ctx.class_stack.append(node.name)
+        elif is_function:
+            ctx.function_stack.append(getattr(node, "name", "<lambda>"))
+        for child in ast.iter_child_nodes(node):
+            ctx.set_parent(child, node)
+            self.walk(child)
+        if is_class:
+            ctx.class_stack.pop()
+        elif is_function:
+            ctx.function_stack.pop()
+
+
+def analyze_source(text: str, relpath: str,
+                   rules: "Optional[Sequence[Rule]]" = None
+                   ) -> "List[Finding]":
+    """Run the rules over one module's source text (one parse, one walk)."""
+    active = [rule for rule in (rules if rules is not None else all_rules())
+              if rule.applies_to(relpath)]
+    tree = ast.parse(text)
+    ctx = ModuleContext(relpath, text, tree)
+    dispatch: "Dict[type, List[Rule]]" = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    _Walker(ctx, dispatch).walk(tree)
+    for rule in active:
+        rule.finish(ctx)
+    return ctx.findings
+
+
+def analyze_paths(paths: "Sequence[pathlib.Path]",
+                  rules: "Optional[Sequence[Rule]]" = None,
+                  baseline: "Optional[Baseline]" = None,
+                  root: "Optional[pathlib.Path]" = None) -> AnalysisResult:
+    """Analyse every Python file under ``paths``.
+
+    ``baseline`` findings are subtracted from ``new_findings``;
+    unparseable modules are reported in ``parse_errors`` rather than
+    aborting the run (a syntax error in one module should not hide
+    findings in the rest).
+    """
+    result = AnalysisResult()
+    collected: "List[Finding]" = []
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            result.parse_errors.append((relpath, str(exc)))
+            continue
+        try:
+            collected.extend(analyze_source(text, relpath, rules))
+        except SyntaxError as exc:
+            result.parse_errors.append(
+                (relpath, f"line {exc.lineno}: {exc.msg}"))
+            continue
+        result.module_count += 1
+    result.findings = fingerprint_findings(collected)
+    active_baseline = baseline or Baseline.empty()
+    result.new_findings = [f for f in result.findings
+                           if f.fingerprint not in active_baseline]
+    result.stale_baseline = active_baseline.stale(result.findings)
+    return result

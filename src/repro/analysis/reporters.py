@@ -1,0 +1,72 @@
+"""Render an :class:`~repro.analysis.engine.AnalysisResult`.
+
+Two formats: ``text`` for humans (one line per finding, GCC-style
+locations, summary footer) and ``json`` for tooling.  The JSON schema
+is versioned and covered by snapshot tests — extend it by adding keys,
+never by renaming or removing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .core import Finding
+from .engine import AnalysisResult
+
+#: Version of the JSON report schema.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, *, verbose: bool = False) -> str:
+    """Human-readable report: new findings, then the summary footer."""
+    lines: "List[str]" = []
+    for finding in result.new_findings:
+        lines.append(str(finding))
+        if verbose and finding.source:
+            lines.append(f"    {finding.source}")
+    for path, message in result.parse_errors:
+        lines.append(f"{path}:0:0: PARSE [error] {message}")
+    baselined = len(result.findings) - len(result.new_findings)
+    summary = (f"{result.module_count} modules analysed: "
+               f"{len(result.new_findings)} new finding(s)"
+               f" ({len(result.new_errors())} error(s), "
+               f"{len(result.new_warnings())} warning(s))")
+    if baselined:
+        summary += f", {baselined} baselined"
+    if result.stale_baseline:
+        summary += (f", {len(result.stale_baseline)} stale baseline "
+                    f"entr(y/ies) — regenerate with --write-baseline")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (schema version ``JSON_SCHEMA_VERSION``)."""
+    baselined = {f.fingerprint for f in result.findings} \
+        - {f.fingerprint for f in result.new_findings}
+
+    def entry(finding: Finding) -> dict:
+        payload = finding.as_dict()
+        payload["baselined"] = finding.fingerprint in baselined
+        return payload
+
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "summary": {
+            "modules": result.module_count,
+            "findings": len(result.findings),
+            "new": len(result.new_findings),
+            "new_errors": len(result.new_errors()),
+            "new_warnings": len(result.new_warnings()),
+            "baselined": len(baselined),
+            "stale_baseline": len(result.stale_baseline),
+            "parse_errors": len(result.parse_errors),
+        },
+        "findings": [entry(f) for f in result.findings],
+        "stale_baseline": list(result.stale_baseline),
+        "parse_errors": [{"path": path, "message": message}
+                         for path, message in result.parse_errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

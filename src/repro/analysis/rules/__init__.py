@@ -1,0 +1,41 @@
+"""Project-specific rules for the ``repro`` static-analysis engine.
+
+Importing this package registers every rule with the global registry
+in :mod:`repro.analysis.core`.  Rule identifiers:
+
+========  ==============================================================
+QLNT101   Wall-clock or stdlib randomness outside ``repro.sim.random``
+QLNT102   Float ``==``/``!=`` on capacity/time expressions
+QLNT103   Raw QoS quantity string literal outside ``repro.units``
+QLNT104   Broad/bare ``except`` without re-raise or logging
+QLNT105   Raised exception not rooted in ``repro.errors``
+QLNT106   ``__all__`` drift (missing declaration or phantom export)
+QLNT107   State-field assignment outside the declared transition table
+QLNT108   Mutable default argument
+QLNT109   Iteration over an unordered set / shared registry
+QLNT110   Unused import
+QLNT111   Debug ``print`` in library code
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    determinism,
+    exceptions,
+    exports,
+    floats,
+    hygiene,
+    quantities,
+    states,
+)
+
+__all__ = [
+    "determinism",
+    "exceptions",
+    "exports",
+    "floats",
+    "hygiene",
+    "quantities",
+    "states",
+]

@@ -1,0 +1,71 @@
+"""QLNT101 — discrete-event determinism.
+
+The simulation must be replayable from a single integer seed: the
+engine's clock is the only source of time and
+:class:`repro.sim.random.RandomSource` the only source of randomness.
+Importing ``time``, ``datetime`` or stdlib ``random`` anywhere else in
+the library (or calling ``time.time()``-style wall-clock reads through
+an alias) silently breaks replay, so the rule bans the imports
+outright rather than chasing call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Modules whose import breaks seeded replay.
+_BANNED_MODULES = {"time", "datetime", "random"}
+
+#: Wall-clock attribute reads, in case the module arrives via an alias
+#: the import check cannot see (e.g. ``from x import time``).
+_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "localtime", "gmtime"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "QLNT101"
+    title = "wall-clock or stdlib randomness outside repro.sim.random"
+    severity = Severity.ERROR
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    def applies_to(self, relpath: str) -> bool:
+        # The seeded wrapper itself, and benchmark timers, are the two
+        # sanctioned consumers of the banned modules.
+        normalized = relpath.replace("\\", "/")
+        if normalized.endswith("sim/random.py"):
+            return False
+        return "benchmarks/" not in normalized and \
+            not normalized.startswith("benchmarks")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_MODULES:
+                    ctx.report(self, node,
+                               f"import of nondeterministic module "
+                               f"{alias.name!r}; route randomness through "
+                               f"repro.sim.random and time through the "
+                               f"simulation clock")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if node.level == 0 and root in _BANNED_MODULES:
+                ctx.report(self, node,
+                           f"import from nondeterministic module "
+                           f"{node.module!r}; route randomness through "
+                           f"repro.sim.random and time through the "
+                           f"simulation clock")
+        elif isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name):
+                banned = _CLOCK_ATTRS.get(value.id)
+                if banned and node.attr in banned:
+                    ctx.report(self, node,
+                               f"wall-clock read {value.id}.{node.attr}; "
+                               f"use the simulation clock")

@@ -1,0 +1,135 @@
+"""QLNT104/QLNT105 — the error-handling contract.
+
+Every failure the library signals must be catchable as
+:class:`repro.errors.GQoSMError` (QLNT105), and no layer may silently
+swallow arbitrary exceptions (QLNT104): a broad handler must either
+re-raise or record what it ate, otherwise SLA violations and
+reservation failures disappear from the replay trace.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from ..core import ModuleContext, Rule, Severity, register
+
+
+def _domain_error_names() -> "set[str]":
+    """Names of the repro.errors hierarchy, read from the live module.
+
+    Introspecting (rather than hard-coding) keeps the rule in lockstep
+    with the hierarchy: adding an error class never requires touching
+    the analyzer.
+    """
+    from ... import errors
+    return {name for name, value in vars(errors).items()
+            if isinstance(value, type) and issubclass(value, errors.GQoSMError)}
+
+
+def _builtin_exception_names() -> "set[str]":
+    return {name for name, value in vars(builtins).items()
+            if isinstance(value, type) and issubclass(value, BaseException)}
+
+
+#: Builtins whose raising is part of normal Python protocol, not a
+#: library failure signal.
+_PROTOCOL_EXCEPTIONS = {
+    "NotImplementedError", "AssertionError", "StopIteration",
+    "StopAsyncIteration", "KeyboardInterrupt", "SystemExit",
+    "GeneratorExit",
+}
+
+#: Call names in a handler body that count as recording the exception.
+_LOGGING_HINTS = ("log", "record", "trace", "warn", "note")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> "str | None":
+    """``"bare"``/``"Exception"``/``"BaseException"`` or ``None``."""
+    if handler.type is None:
+        return "bare"
+    candidates = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                  else [handler.type])
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and \
+                candidate.id in ("Exception", "BaseException"):
+            return candidate.id
+    return None
+
+
+def _body_handles(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name and any(hint in name.lower()
+                            for hint in _LOGGING_HINTS):
+                return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "QLNT104"
+    title = "broad except without re-raise or logging"
+    severity = Severity.ERROR
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        kind = _is_broad(node)
+        if kind is None:
+            return
+        if kind == "bare":
+            ctx.report(self, node,
+                       "bare except swallows SystemExit/KeyboardInterrupt; "
+                       "catch a repro.errors type (or Exception with a "
+                       "re-raise)")
+            return
+        if not _body_handles(node):
+            ctx.report(self, node,
+                       f"except {kind} neither re-raises nor records the "
+                       f"error; narrow it to the repro.errors type the "
+                       f"callee actually raises")
+
+
+@register
+class ForeignExceptionRule(Rule):
+    rule_id = "QLNT105"
+    title = "raised exception not rooted in repro.errors"
+    severity = Severity.ERROR
+    node_types = (ast.Raise,)
+
+    def __init__(self) -> None:
+        self._allowed = _domain_error_names() | _PROTOCOL_EXCEPTIONS
+        self._flagged = _builtin_exception_names() - self._allowed
+
+    def applies_to(self, relpath: str) -> bool:
+        # The hierarchy module itself defines, not raises, the types.
+        return not relpath.replace("\\", "/").endswith("repro/errors.py")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Raise)
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        # Unresolvable names (locals holding an exception object,
+        # aliases) are given the benefit of the doubt; only names that
+        # are verifiably stdlib exception types are flagged.
+        if name in self._flagged:
+            ctx.report(self, node,
+                       f"raise of stdlib {name}; raise a subclass of "
+                       f"repro.errors.GQoSMError so embedders can catch "
+                       f"one base type")

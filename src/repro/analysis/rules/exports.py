@@ -1,0 +1,116 @@
+"""QLNT106 — ``__all__`` is the public-API contract.
+
+Package ``__init__`` modules are the published surface of each
+subsystem, so they must declare ``__all__`` explicitly; and wherever
+``__all__`` exists, every listed name must actually be bound in the
+module (a phantom export breaks ``from repro.x import *`` and, more
+importantly, lies to readers about the API).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..core import ModuleContext, Rule, Severity, register
+
+
+def _top_level_bindings(tree: ast.Module) -> "Set[str]":
+    """Names bound at module scope, descending into top-level
+    ``if``/``try`` blocks (the TYPE_CHECKING / fallback-import idioms)."""
+    bound: "Set[str]" = set()
+    star_import = False
+
+    def collect(statements) -> None:
+        nonlocal star_import
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        bound.add((alias.asname
+                                   or alias.name).split(".")[0])
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.If):
+                collect(stmt.body)
+                collect(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                collect(stmt.body)
+                collect(stmt.orelse)
+                collect(stmt.finalbody)
+                for handler in stmt.handlers:
+                    collect(handler.body)
+    collect(tree.body)
+    if star_import:
+        bound.add("*")
+    return bound
+
+
+def _find_all_declaration(tree: ast.Module) -> "ast.Assign | None":
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt
+    return None
+
+
+def _is_public_init(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    if not normalized.endswith("__init__.py"):
+        return False
+    return not any(part.startswith("_") and part != "__init__.py"
+                   for part in normalized.split("/"))
+
+
+@register
+class ExportsRule(Rule):
+    rule_id = "QLNT106"
+    title = "__all__ drift"
+    severity = Severity.ERROR
+    node_types = ()
+
+    def finish(self, ctx: ModuleContext) -> None:
+        declaration = _find_all_declaration(ctx.tree)
+        if declaration is None:
+            if _is_public_init(ctx.relpath):
+                ctx.report(self, 1,
+                           "public package module must declare __all__ "
+                           "(the subsystem's published API)")
+            return
+        value = declaration.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            ctx.report(self, declaration,
+                       "__all__ must be a literal list/tuple of names")
+            return
+        names: "List[str]" = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and \
+                    isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                ctx.report(self, element,
+                           "__all__ entries must be string literals")
+        duplicates = {name for name in names if names.count(name) > 1}
+        for name in sorted(duplicates):
+            ctx.report(self, declaration,
+                       f"duplicate __all__ entry {name!r}")
+        bound = _top_level_bindings(ctx.tree)
+        if "*" in bound:
+            return  # star import: existence is unverifiable statically
+        for name in names:
+            if name not in bound:
+                ctx.report(self, declaration,
+                           f"__all__ exports {name!r} but the module "
+                           f"never binds it")

@@ -1,0 +1,91 @@
+"""QLNT102 — tolerance discipline on capacity/time comparison.
+
+Capacity and time quantities in the reproduction are accumulated
+floats (summed reservations, rebalanced shares, event timestamps), so
+exact ``==``/``!=`` on them is replay-hostile: two runs that differ
+only in summation order can disagree.  The comparison layer for these
+quantities is :func:`repro.units.isclose` / :func:`repro.units.iszero`
+(and the slot table's epsilon); this rule points offenders at them.
+
+The heuristic flags an equality comparison when either operand *names*
+a capacity/time quantity (``start``, ``demand``, ``*_mbps`` ...) or is
+a float literal.  The integrality idiom ``x == int(x)`` (and
+``round``) is exempt — it is exact by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Identifiers that denote capacity/time quantities in this codebase.
+_QUANTITY_NAMES = {
+    "start", "end", "now", "low", "high", "demand", "capacity",
+    "served", "entitled", "duration", "deadline", "shortfall", "idle",
+    "elapsed", "remaining", "usage", "bandwidth", "delay",
+}
+
+#: Suffix conventions for the same (``memory_mb``, ``created_at`` ...).
+_QUANTITY_SUFFIXES = (
+    "_mb", "_mbps", "_ms", "_at", "_time", "_rate", "_capacity",
+    "_demand", "_served", "_fraction",
+)
+
+#: Calls whose result is exact by construction, making ``==`` safe.
+_EXACT_CASTS = {"int", "round", "len", "id", "ord", "hash"}
+
+
+def _identifier(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_quantity(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    name = _identifier(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    if lowered in _QUANTITY_NAMES:
+        return True
+    return any(lowered.endswith(suffix) for suffix in _QUANTITY_SUFFIXES)
+
+
+def _is_exact_cast(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _EXACT_CASTS)
+
+
+@register
+class FloatComparisonRule(Rule):
+    rule_id = "QLNT102"
+    title = "float ==/!= on capacity/time expression"
+    severity = Severity.ERROR
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_exact_cast(left) or _is_exact_cast(right):
+                continue
+            offender = next((operand for operand in (left, right)
+                             if _is_quantity(operand)), None)
+            if offender is None:
+                continue
+            label = _identifier(offender)
+            what = (f"{label!r}" if label is not None
+                    else "a float literal")
+            ctx.report(self, node,
+                       f"exact float comparison on {what}; use "
+                       f"repro.units.isclose / iszero (tolerance "
+                       f"discipline on capacity/time)")
+            break

@@ -1,0 +1,145 @@
+"""QLNT108–QLNT111 — source hygiene.
+
+These four rules absorb (and extend) the checks that used to live in
+``tests/test_hygiene.py``: mutable default arguments, iteration order
+that depends on hashing, unused imports, and stray debug prints.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..core import ModuleContext, Rule, Severity, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "deque", "Counter", "OrderedDict"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "QLNT108"
+    title = "mutable default argument"
+    severity = Severity.ERROR
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+        for default in defaults:
+            offending = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS)
+            if offending:
+                name = getattr(node, "name", "<lambda>")
+                ctx.report(self, default,
+                           f"mutable default argument in {name}(); "
+                           f"default to None and build inside the body")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _is_registry_view(node: ast.AST) -> bool:
+    """``<x>.keys()/values()/items()`` where ``x`` names a registry."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values", "items")):
+        return False
+    receiver = node.func.value
+    name = None
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    return name is not None and "registr" in name.lower()
+
+
+@register
+class UnorderedIterationRule(Rule):
+    rule_id = "QLNT109"
+    title = "iteration over an unordered collection"
+    severity = Severity.ERROR
+    node_types = (ast.For, ast.ListComp, ast.SetComp, ast.DictComp,
+                  ast.GeneratorExp)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if isinstance(node, ast.For):
+            iterables = [node.iter]
+        else:
+            iterables = [generator.iter for generator in node.generators]
+        for iterable in iterables:
+            if _is_set_expression(iterable):
+                ctx.report(self, iterable,
+                           "iterating a set: order depends on hashing "
+                           "and breaks seeded replay; wrap in sorted()")
+            elif _is_registry_view(iterable):
+                ctx.report(self, iterable,
+                           "iterating a shared registry view in raw "
+                           "order; iterate sorted(...) so replay does "
+                           "not depend on registration history")
+
+
+@register
+class UnusedImportRule(Rule):
+    rule_id = "QLNT110"
+    title = "unused import"
+    severity = Severity.ERROR
+    node_types = ()
+
+    def finish(self, ctx: ModuleContext) -> None:
+        # Textual occurrence counting (rather than scope resolution)
+        # deliberately credits mentions in docstrings, quoted
+        # annotations and __all__ — the module "uses" those names.
+        text = ctx.text
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [(alias.asname or alias.name).split(".")[0]
+                         for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [alias.asname or alias.name
+                         for alias in node.names]
+            else:
+                continue
+            statement = "\n".join(
+                ctx.lines[node.lineno - 1:(node.end_lineno or node.lineno)])
+            for name in names:
+                if name in ("annotations", "*"):
+                    continue
+                pattern = rf"\b{re.escape(name)}\b"
+                total = len(re.findall(pattern, text))
+                in_statement = len(re.findall(pattern, statement))
+                if total <= in_statement:
+                    ctx.report(self, node,
+                               f"import {name!r} is never used")
+
+
+@register
+class DebugPrintRule(Rule):
+    rule_id = "QLNT111"
+    title = "debug print in library code"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def applies_to(self, relpath: str) -> bool:
+        # CLI front-ends and experiment renderers print by design.
+        normalized = relpath.replace("\\", "/")
+        parts = normalized.split("/")
+        if parts[-1] in ("cli.py", "__main__.py"):
+            return False
+        return "experiments" not in parts
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(self, node,
+                       "print() in library code; report through traces, "
+                       "renderers or the CLI")

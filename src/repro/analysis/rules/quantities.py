@@ -1,0 +1,69 @@
+"""QLNT103 — QoS quantities enter through ``repro.units``.
+
+SLA documents carry quantities as strings (``"64MB"``, ``"10 Mbps"``,
+``"LessThan 10%"``); the units module canonicalises them exactly once
+at the codec boundary.  A quantity literal floating around anywhere
+else is either dead weight or — worse — about to be compared against a
+canonical number.  The rule flags quantity-shaped string literals that
+are not immediately consumed by a ``repro.units`` parser.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..core import ModuleContext, Rule, Severity, register
+
+_QUANTITY_RE = re.compile(
+    r"^\s*[-+]?\d+(?:\.\d+)?\s*"
+    r"(?:MB|GB|KB|TB|Mbps|Kbps|Gbps|ms|us|%)\s*$",
+    re.IGNORECASE)
+
+#: Callables allowed to consume a raw quantity literal directly.
+_ALLOWED_CALLEES = {
+    "parse_cpu", "parse_memory_mb", "parse_bandwidth_mbps",
+    "parse_delay_ms", "parse_percentage", "parse_bound",
+}
+
+
+def _callee_name(node: ast.Call) -> "str | None":
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+@register
+class QuantityLiteralRule(Rule):
+    rule_id = "QLNT103"
+    title = "raw QoS quantity literal outside repro.units"
+    # Advisory tier: quantity-shaped strings are usually (not always)
+    # headed for a parser, so this fails only under --strict.
+    severity = Severity.WARNING
+    node_types = (ast.Constant,)
+
+    def applies_to(self, relpath: str) -> bool:
+        # The units module is the one place quantity strings live.
+        return not relpath.replace("\\", "/").endswith("repro/units.py")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Constant)
+        if not isinstance(node.value, str):
+            return
+        if not _QUANTITY_RE.match(node.value):
+            return
+        parent = ctx.parent(node)
+        # Docstrings and standalone strings are prose, not data.
+        if isinstance(parent, ast.Expr):
+            return
+        # Direct argument to a units parser: the sanctioned idiom.
+        if isinstance(parent, ast.Call) and node in parent.args:
+            callee = _callee_name(parent)
+            if callee in _ALLOWED_CALLEES:
+                return
+        ctx.report(self, node,
+                   f"raw QoS quantity literal {node.value!r}; parse it "
+                   f"with the repro.units constructors so the canonical "
+                   f"unit is explicit")

@@ -1,0 +1,59 @@
+"""Inline suppression comments.
+
+Two forms are recognised:
+
+* line-scoped — ``# qlint: disable=QLNT101`` (or a comma-separated
+  list, or ``all``) on the offending line silences those rules for
+  that line only;
+* file-scoped — ``# qlint: disable-file=QLNT103`` on a line of its
+  own silences the rules for the whole module.
+
+Suppressions are scanned textually (not via the AST) so they work on
+any physical line, including continuation lines and comments attached
+to multi-line statements.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_LINE_RE = re.compile(r"#\s*qlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*qlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+ALL = "all"
+
+
+def _split_ids(blob: str) -> "Set[str]":
+    return {part.strip() for part in blob.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-line and per-file suppression lookup for one module."""
+
+    def __init__(self) -> None:
+        self.by_line: "Dict[int, Set[str]]" = {}
+        self.file_wide: "Set[str]" = set()
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_wide or ALL in self.file_wide:
+            return True
+        ids = self.by_line.get(line)
+        return ids is not None and (rule_id in ids or ALL in ids)
+
+
+def scan_suppressions(text: str) -> SuppressionIndex:
+    """Build the suppression index for one module's source text."""
+    index = SuppressionIndex()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "qlint" not in line:
+            continue
+        file_match = _FILE_RE.search(line)
+        if file_match:
+            index.file_wide |= _split_ids(file_match.group(1))
+            continue
+        line_match = _LINE_RE.search(line)
+        if line_match:
+            index.by_line.setdefault(lineno, set()).update(
+                _split_ids(line_match.group(1)))
+    return index

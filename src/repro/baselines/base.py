@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.capacity import CapacityPartition
+from ..errors import AdmissionError
 
 
 @dataclass(frozen=True)
@@ -126,13 +127,16 @@ class AdaptivePolicy(AllocatorPolicy):
         return self._report()
 
     def served(self, user: str) -> float:
+        # The holding getters raise AdmissionError for users this
+        # partition does not know; anything else is a real bug and
+        # must propagate.
         try:
             return self.partition.guaranteed_holding(user).served
-        except Exception:
+        except AdmissionError:
             pass
         try:
             return self.partition.best_effort_holding(user).served
-        except Exception:
+        except AdmissionError:
             return 0.0
 
     def utilization(self) -> float:

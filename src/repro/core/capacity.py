@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError
+from ..units import iszero
 
 _EPSILON = 1e-9
 
@@ -295,7 +296,7 @@ class CapacityPartition:
         """Update ``b(u,t)``; zero demand removes the user."""
         if demand < 0:
             raise AdmissionError(f"demand must be >= 0: {demand}")
-        if demand == 0:
+        if iszero(demand):
             self._best_effort.pop(user, None)
             return self.rebalance()
         holding = self._best_effort.get(user)

@@ -32,6 +32,7 @@ from ..sim.trace import TraceRecorder
 from ..sla.repository import SLARepository
 from .broker import AQoSBroker
 from .capacity import CapacityPartition
+from ..errors import ValidationError
 
 
 @dataclass
@@ -73,7 +74,7 @@ def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
     622 Mbps backbone between the sites of the example.
     """
     if guaranteed_cpu + adaptive_cpu + best_effort_cpu != total_cpu:
-        raise ValueError(
+        raise ValidationError(
             f"partition {guaranteed_cpu}+{adaptive_cpu}+{best_effort_cpu} "
             f"!= total {total_cpu}")
     sim = Simulator()
@@ -155,7 +156,7 @@ def build_multidomain(*, domains: int = 2, nodes_per_domain: int = 26,
     """Stand up the Figure 1 architecture: ``domains`` AQoS brokers,
     each with its own RM and NRM, joined by inter-domain links."""
     if domains < 1:
-        raise ValueError(f"need at least one domain: {domains}")
+        raise ValidationError(f"need at least one domain: {domains}")
     sim = Simulator()
     trace = TraceRecorder()
     rng = RandomSource(seed)

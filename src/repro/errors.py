@@ -18,6 +18,15 @@ class UnitError(GQoSMError, ValueError):
     """A quantity string could not be parsed or converted."""
 
 
+class ValidationError(GQoSMError, ValueError):
+    """A constructor or configuration argument is outside its domain.
+
+    Derives from :class:`ValueError` as well, so call sites written
+    against the stdlib type before the hierarchy was unified keep
+    working unchanged.
+    """
+
+
 class SimulationError(GQoSMError):
     """The discrete-event engine was driven incorrectly.
 
@@ -100,3 +109,15 @@ class NetworkError(ResourceError):
 
 class MonitoringError(GQoSMError):
     """A monitoring subsystem (sensor / MDS / verifier) call failed."""
+
+
+class InstantNotFound(GQoSMError, KeyError):
+    """A worked-example timeline lookup named an unknown instant."""
+
+
+class AnalysisError(GQoSMError):
+    """The static-analysis engine was driven incorrectly.
+
+    Examples: analysing a path that contains no Python modules, or
+    loading a baseline file with an unknown schema version.
+    """

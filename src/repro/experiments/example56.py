@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..core.capacity import CapacityPartition
+from ..errors import InstantNotFound
+from ..units import iszero
 
 #: The paper's partition.
 CG, CA, CB = 15.0, 6.0, 5.0
@@ -74,18 +76,18 @@ class Example56Result:
         for row in self.rows:
             if row.instant == instant:
                 return row
-        raise KeyError(instant)
+        raise InstantNotFound(instant)
 
     @property
     def guarantees_always_honored(self) -> bool:
         """Whether no instant shows a guaranteed shortfall."""
-        return all(row.shortfall == 0.0 for row in self.rows)
+        return all(iszero(row.shortfall) for row in self.rows)
 
     @property
     def never_underutilized(self) -> bool:
         """The paper's claim (a): free capacity is always consumed by
         best-effort borrowers (idle stays zero while demand exists)."""
-        return all(row.idle == 0.0 for row in self.rows)
+        return all(iszero(row.idle) for row in self.rows)
 
 
 def run_example56() -> Example56Result:

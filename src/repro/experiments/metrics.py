@@ -10,6 +10,7 @@ integrals over the observation window.
 from __future__ import annotations
 
 from typing import Dict
+from ..errors import ValidationError
 
 
 class TimeWeightedMetrics:
@@ -34,7 +35,7 @@ class TimeWeightedMetrics:
     def observe(self, time: float, **signals: float) -> None:
         """Record the signal values holding from ``time`` onwards."""
         if time < self._last_time:
-            raise ValueError(
+            raise ValidationError(
                 f"observation at {time} precedes last at {self._last_time}")
         span = time - self._last_time
         for name, value in self._last_values.items():

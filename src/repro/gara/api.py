@@ -17,6 +17,7 @@ confirmation deadline passes, exactly as Section 3.1 describes.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 from ..errors import ReservationNotFound, ReservationStateError
@@ -169,7 +170,7 @@ class GaraApi:
 
     def _schedule_expiry(self, reservation: Reservation) -> None:
         end = reservation.entry.end
-        if end == float("inf"):
+        if math.isinf(end):
             return
         handle = reservation.handle
 

@@ -32,6 +32,7 @@ comparison already absorbs through the ``1e-9`` epsilon in
 from __future__ import annotations
 
 import itertools
+import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
@@ -135,14 +136,14 @@ class SlotTable:
 
     def _index_entry(self, entry: SlotEntry) -> None:
         self._insert_boundary(entry.start)
-        if entry.end != FOREVER:
+        if not math.isinf(entry.end):
             self._insert_boundary(entry.end)
         self._apply_delta(entry, 1.0)
 
     def _unindex_entry(self, entry: SlotEntry) -> None:
         self._apply_delta(entry, -1.0)
         self._remove_boundary(entry.start)
-        if entry.end != FOREVER:
+        if not math.isinf(entry.end):
             self._remove_boundary(entry.end)
 
     # ------------------------------------------------------------------

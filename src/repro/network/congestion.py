@@ -21,6 +21,7 @@ from ..sim.random import RandomSource
 from ..sim.trace import TraceRecorder
 from .nrm import NetworkResourceManager
 from .topology import Link
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -56,10 +57,10 @@ class CongestionInjector:
                  severity: "Tuple[float, float]" = (0.3, 0.8),
                  trace: Optional[TraceRecorder] = None) -> None:
         if mtbc <= 0 or mean_duration <= 0:
-            raise ValueError("mtbc and mean_duration must be positive")
+            raise ValidationError("mtbc and mean_duration must be positive")
         low, high = severity
         if not 0.0 < low <= high <= 1.0:
-            raise ValueError(f"severity range out of (0, 1]: {severity}")
+            raise ValidationError(f"severity range out of (0, 1]: {severity}")
         self._sim = sim
         self._nrm = nrm
         if links is None:
@@ -67,7 +68,7 @@ class CongestionInjector:
             links = [link for link in topology.links()
                      if link.owner_domain == nrm.domain]
         if not links:
-            raise ValueError("no candidate links to congest")
+            raise ValidationError("no candidate links to congest")
         self._links = list(links)
         self._rng = rng if rng is not None else RandomSource(0)
         self.mtbc = mtbc

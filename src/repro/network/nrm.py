@@ -11,6 +11,7 @@ degradation" (Section 3.2) through registered listeners.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -227,7 +228,7 @@ class NetworkResourceManager:
             destination=destination, bandwidth_mbps=bandwidth_mbps,
             links=list(links), entries=booked, start=start, end=end)
         self._flows[flow.flow_id] = flow
-        if end != float("inf"):
+        if not math.isinf(end):
             self._sim.schedule_at(end, lambda: self._expire(flow.flow_id),
                                   label=f"nrm:{self.domain}:flow-expiry")
         self._record(f"allocated flow {flow.flow_id} "

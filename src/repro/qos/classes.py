@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from enum import Enum
+from ..errors import ValidationError
 
 
 class ServiceClass(Enum):
@@ -66,4 +67,4 @@ class ServiceClass(Enum):
         }
         if normalized in aliases:
             return aliases[normalized]
-        raise ValueError(f"unknown service class label: {label!r}")
+        raise ValidationError(f"unknown service class label: {label!r}")

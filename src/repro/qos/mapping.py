@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple, Union
 
 from ..errors import QoSSpecificationError
+from ..units import isclose
 from .parameters import Dimension, exact_parameter, range_parameter
 from .specification import QoSSpecification
 
@@ -116,7 +117,7 @@ class ApplicationProfile:
         for dimension in sorted(lows, key=lambda d: d.value):
             low = lows[dimension]
             high = highs[dimension]
-            if not ranged or low == high:
+            if not ranged or isclose(low, high):
                 parameters.append(exact_parameter(dimension, high))
             else:
                 parameters.append(range_parameter(dimension, low, high))

@@ -20,6 +20,7 @@ Vectors support element-wise arithmetic and the partial order
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ValidationError
 
 _EPSILON = 1e-9
 
@@ -39,7 +40,7 @@ class ResourceVector:
         for name in self._FIELDS:
             value = getattr(self, name)
             if value < -_EPSILON:
-                raise ValueError(f"{name} must be non-negative, got {value}")
+                raise ValidationError(f"{name} must be non-negative, got {value}")
 
     @classmethod
     def zero(cls) -> "ResourceVector":
@@ -79,7 +80,7 @@ class ResourceVector:
     def scaled(self, factor: float) -> "ResourceVector":
         """The vector multiplied component-wise by ``factor >= 0``."""
         if factor < 0:
-            raise ValueError(f"scale factor must be non-negative: {factor}")
+            raise ValidationError(f"scale factor must be non-negative: {factor}")
         return ResourceVector(
             self.cpu * factor,
             self.memory_mb * factor,

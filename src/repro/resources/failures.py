@@ -21,6 +21,7 @@ from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from ..sim.trace import TraceRecorder
 from .machine import Machine
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,7 @@ class FailureInjector:
                  max_concurrent_failures: Optional[int] = None,
                  trace: Optional[TraceRecorder] = None) -> None:
         if mtbf <= 0 or mttr <= 0:
-            raise ValueError("mtbf and mttr must be positive")
+            raise ValidationError("mtbf and mttr must be positive")
         self._sim = sim
         self._machine = machine
         self._rng = rng

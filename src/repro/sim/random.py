@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random as _random
 from typing import List, Sequence, TypeVar
+from ..errors import ValidationError
 
 T = TypeVar("T")
 
@@ -41,13 +42,13 @@ class RandomSource:
     def exponential(self, mean: float) -> float:
         """Exponential sample with the given mean (mean > 0)."""
         if mean <= 0:
-            raise ValueError(f"exponential mean must be positive: {mean}")
+            raise ValidationError(f"exponential mean must be positive: {mean}")
         return self._rng.expovariate(1.0 / mean)
 
     def pareto(self, shape: float, scale: float = 1.0) -> float:
         """Pareto sample: heavy-tailed service durations."""
         if shape <= 0 or scale <= 0:
-            raise ValueError("pareto shape and scale must be positive")
+            raise ValidationError("pareto shape and scale must be positive")
         return scale * self._rng.paretovariate(shape)
 
     def normal(self, mean: float, stddev: float) -> float:
@@ -80,7 +81,7 @@ class RandomSource:
     def probability(self, p: float) -> bool:
         """Bernoulli trial: ``True`` with probability ``p``."""
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probability out of [0, 1]: {p}")
+            raise ValidationError(f"probability out of [0, 1]: {p}")
         return self._rng.random() < p
 
 

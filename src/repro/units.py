@@ -25,6 +25,32 @@ from .errors import UnitError
 
 Number = Union[int, float]
 
+#: Default tolerance for QoS-quantity comparison.  Matches the slot
+#: table's admission epsilon so "equal capacity" means the same thing
+#: on every layer.
+TOLERANCE = 1e-9
+
+
+def isclose(a: Number, b: Number, *, tol: Number = TOLERANCE) -> bool:
+    """Tolerance-based equality for capacity/time quantities.
+
+    Float ``==`` on derived quantities (accumulated capacity, summed
+    durations) is brittle; every layer that needs "the same amount"
+    should call this instead.  The comparison is absolute-plus-relative:
+    values within ``tol`` of each other, or within ``tol`` relative to
+    the larger magnitude, compare equal.  Infinities compare equal only
+    to themselves.
+    """
+    if a == b:  # qlint: disable=QLNT102 -- fast path, incl. infinities
+        return True
+    diff = abs(a - b)
+    return diff <= tol or diff <= tol * max(abs(a), abs(b))
+
+
+def iszero(value: Number, *, tol: Number = TOLERANCE) -> bool:
+    """Whether a capacity/time quantity is numerically zero."""
+    return abs(value) <= tol
+
 # Multipliers into the canonical unit of each dimension.
 _MEMORY_UNITS = {
     "b": 1.0 / (1024.0 * 1024.0),

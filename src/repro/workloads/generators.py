@@ -15,6 +15,7 @@ from typing import List, Tuple
 from ..qos.classes import ServiceClass
 from ..sim.random import RandomSource
 from .sessions import SessionSpec, Workload
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -55,30 +56,30 @@ class WorkloadConfig:
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
-            raise ValueError(f"horizon must be positive: {self.horizon}")
+            raise ValidationError(f"horizon must be positive: {self.horizon}")
         if self.arrival_rate <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"arrival_rate must be positive: {self.arrival_rate}")
         if self.mean_duration <= 0:
-            raise ValueError(
+            raise ValidationError(
                 f"mean_duration must be positive: {self.mean_duration}")
         if len(self.class_mix) != 3 or min(self.class_mix) < 0 \
                 or sum(self.class_mix) <= 0:
-            raise ValueError(f"bad class_mix: {self.class_mix}")
+            raise ValidationError(f"bad class_mix: {self.class_mix}")
         for name in ("guaranteed_cpu", "controlled_cpu_floor",
                      "best_effort_cpu"):
             low, high = getattr(self, name)
             if not 0 < low <= high:
-                raise ValueError(f"bad {name} range: ({low}, {high})")
+                raise ValidationError(f"bad {name} range: ({low}, {high})")
         if self.controlled_stretch < 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"controlled_stretch must be >= 1: "
                 f"{self.controlled_stretch}")
         for name in ("degradable_fraction", "terminable_fraction",
                      "promotion_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} out of [0, 1]: {value}")
+                raise ValidationError(f"{name} out of [0, 1]: {value}")
 
 
 _CLASSES = (ServiceClass.GUARANTEED, ServiceClass.CONTROLLED_LOAD,
@@ -141,7 +142,7 @@ def arrival_rate_for_load(load: float, capacity: float,
     ``λ = ρ · capacity / (E[duration] · E[cpu])``.
     """
     if load <= 0 or capacity <= 0:
-        raise ValueError("load and capacity must be positive")
+        raise ValidationError("load and capacity must be positive")
     weights = config.class_mix
     total_weight = sum(weights)
     mean_g = sum(config.guaranteed_cpu) / 2.0

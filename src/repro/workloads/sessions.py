@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..qos.classes import ServiceClass
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -43,9 +44,9 @@ class SessionSpec:
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
-            raise ValueError(f"duration must be positive: {self.duration}")
+            raise ValidationError(f"duration must be positive: {self.duration}")
         if self.cpu_floor > self.cpu_best:
-            raise ValueError(
+            raise ValidationError(
                 f"cpu_floor {self.cpu_floor} exceeds cpu_best "
                 f"{self.cpu_best}")
 

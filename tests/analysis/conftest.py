@@ -1,0 +1,26 @@
+"""Shared helpers for the static-analysis engine tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source
+
+#: Default module path used for snippets: a library module, so no
+#: path-based rule exemption applies.
+LIB_PATH = "src/repro/somepkg/module.py"
+
+
+@pytest.fixture
+def run():
+    """Analyse a dedented snippet; returns the findings list."""
+
+    def _run(source: str, relpath: str = LIB_PATH, rule_id: str = None):
+        findings = analyze_source(textwrap.dedent(source), relpath)
+        if rule_id is not None:
+            findings = [f for f in findings if f.rule_id == rule_id]
+        return findings
+
+    return _run

@@ -1,0 +1,197 @@
+"""Engine behaviour: suppressions, baseline, reporters, file walking."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    analyze_paths,
+    analyze_source,
+    fingerprint_findings,
+    iter_python_files,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+)
+from repro.analysis.baseline import VERSION
+from repro.errors import AnalysisError
+
+BAD_PRINT = "def f():\n    print('x')\n"
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_rule(self):
+        source = "def f():\n    print('x')  # qlint: disable=QLNT111\n"
+        assert analyze_source(source, "src/repro/m.py") == []
+
+    def test_line_suppression_is_rule_specific(self):
+        source = ("def f():\n"
+                  "    print('x')  # qlint: disable=QLNT102\n")
+        findings = analyze_source(source, "src/repro/m.py")
+        assert [f.rule_id for f in findings] == ["QLNT111"]
+
+    def test_line_suppression_takes_a_list(self):
+        source = ("def f(start, end):\n"
+                  "    print(start == end)"
+                  "  # qlint: disable=QLNT111,QLNT102\n")
+        assert analyze_source(source, "src/repro/m.py") == []
+
+    def test_line_suppression_all_keyword(self):
+        source = "def f():\n    print('x')  # qlint: disable=all\n"
+        assert analyze_source(source, "src/repro/m.py") == []
+
+    def test_line_suppression_only_covers_its_line(self):
+        source = ("def f():\n"
+                  "    print('a')  # qlint: disable=QLNT111\n"
+                  "    print('b')\n")
+        findings = analyze_source(source, "src/repro/m.py")
+        assert len(findings) == 1 and findings[0].line == 3
+
+    def test_file_suppression_covers_the_module(self):
+        source = ("# qlint: disable-file=QLNT111\n"
+                  "def f():\n"
+                  "    print('a')\n"
+                  "    print('b')\n")
+        assert analyze_source(source, "src/repro/m.py") == []
+
+    def test_trailing_prose_after_dashes_is_ignored(self):
+        source = ("def f():\n"
+                  "    print('x')  # qlint: disable=QLNT111 -- CLI shim\n")
+        assert analyze_source(source, "src/repro/m.py") == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    def _findings(self, source):
+        return fingerprint_findings(
+            analyze_source(source, "src/repro/m.py"))
+
+    def test_fingerprints_survive_unrelated_line_shifts(self):
+        original = self._findings(BAD_PRINT)
+        shifted = self._findings("# a new leading comment\n" + BAD_PRINT)
+        assert [f.fingerprint for f in original] == \
+            [f.fingerprint for f in shifted]
+        assert original[0].line != shifted[0].line
+
+    def test_identical_lines_fingerprint_independently(self):
+        twice = self._findings("def f():\n    print('x')\n    print('x')\n")
+        assert len(twice) == 2
+        assert twice[0].fingerprint != twice[1].fingerprint
+
+    def test_editing_the_offending_line_invalidates(self):
+        original = self._findings(BAD_PRINT)
+        edited = self._findings("def f():\n    print('y')\n")
+        assert original[0].fingerprint != edited[0].fingerprint
+
+    def test_baseline_subtracts_known_findings(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text(BAD_PRINT)
+        first = analyze_paths([module], root=tmp_path)
+        assert first.new_findings
+        baseline = Baseline.from_findings(first.findings)
+        second = analyze_paths([module], baseline=baseline, root=tmp_path)
+        assert second.new_findings == []
+        assert second.findings  # still reported, just not "new"
+        assert second.stale_baseline == []
+
+    def test_stale_entries_are_detected(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text(BAD_PRINT)
+        baseline = Baseline.from_findings(
+            analyze_paths([module], root=tmp_path).findings)
+        module.write_text("def f():\n    return 1\n")
+        result = analyze_paths([module], baseline=baseline, root=tmp_path)
+        assert result.new_findings == []
+        assert len(result.stale_baseline) == 1
+
+    def test_round_trip_through_disk(self, tmp_path):
+        baseline = Baseline.from_findings(self._findings(BAD_PRINT))
+        path = tmp_path / "baseline.json"
+        save_baseline(path, baseline)
+        loaded = load_baseline(path)
+        assert set(loaded.entries) == set(baseline.entries)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == VERSION
+
+    def test_unknown_schema_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+
+class TestReporters:
+    def _result(self, tmp_path, source=BAD_PRINT):
+        module = tmp_path / "m.py"
+        module.write_text(source)
+        return analyze_paths([module], root=tmp_path)
+
+    def test_text_report_is_grep_friendly(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "m.py:2:" in text
+        assert "QLNT111" in text
+        assert "1 new finding(s)" in text
+
+    def test_json_schema_is_stable(self, tmp_path):
+        """The documented schema: tooling depends on these exact keys."""
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro.analysis"
+        assert set(payload) == {"version", "tool", "summary", "findings",
+                                "stale_baseline", "parse_errors"}
+        assert set(payload["summary"]) == {
+            "modules", "findings", "new", "new_errors", "new_warnings",
+            "baselined", "stale_baseline", "parse_errors"}
+        finding = payload["findings"][0]
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "column", "message", "source",
+                                "fingerprint", "baselined"}
+        assert finding["rule"] == "QLNT111"
+        assert finding["baselined"] is False
+
+    def test_clean_run_renders_zero_summary(self, tmp_path):
+        result = self._result(tmp_path, "def f():\n    return 1\n")
+        assert "0 new finding(s)" in render_text(result)
+        assert json.loads(render_json(result))["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# File walking / parse errors
+# ----------------------------------------------------------------------
+
+class TestWalking:
+    def test_iter_python_files_is_sorted_and_recursive(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_is_an_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            iter_python_files([tmp_path / "nope"])
+
+    def test_syntax_error_does_not_hide_other_modules(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "bad.py").write_text(BAD_PRINT)
+        result = analyze_paths([tmp_path], root=tmp_path)
+        assert len(result.parse_errors) == 1
+        assert result.parse_errors[0][0] == "broken.py"
+        assert [f.rule_id for f in result.new_findings] == ["QLNT111"]

@@ -1,0 +1,371 @@
+"""Positive (bad) and negative (good) fixtures for every shipped rule.
+
+Each rule gets at least one snippet that must flag and one that must
+stay silent, per the engine's acceptance contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.analysis.rules.states import STATE_MACHINES
+
+
+# ----------------------------------------------------------------------
+# QLNT101 — determinism
+# ----------------------------------------------------------------------
+
+class TestDeterminism:
+    @pytest.mark.parametrize("snippet", [
+        "import random\n",
+        "import time\n",
+        "import datetime\n",
+        "from random import choice\n",
+        "from datetime import datetime\n",
+        "from time import monotonic\n",
+    ])
+    def test_banned_imports_flag(self, run, snippet):
+        assert run(snippet, rule_id="QLNT101")
+
+    def test_wall_clock_attribute_flags(self, run):
+        # `time` smuggled in through a helper module still reads the
+        # wall clock at the attribute site.
+        findings = run("def f(time):\n    return time.monotonic()\n",
+                       rule_id="QLNT101")
+        assert findings and "monotonic" in findings[0].message
+
+    def test_seeded_source_is_clean(self, run):
+        snippet = ("from repro.sim.random import RandomSource\n"
+                   "r = RandomSource(7)\n"
+                   "x = r.uniform(0.0, 1.0)\n")
+        assert run(snippet, rule_id="QLNT101") == []
+
+    def test_sim_random_module_is_exempt(self, run):
+        assert run("import random\n",
+                   relpath="src/repro/sim/random.py",
+                   rule_id="QLNT101") == []
+
+    def test_benchmarks_are_exempt(self, run):
+        assert run("import time\n",
+                   relpath="benchmarks/bench_thing.py",
+                   rule_id="QLNT101") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT102 — float equality on capacity/time
+# ----------------------------------------------------------------------
+
+class TestFloatComparison:
+    @pytest.mark.parametrize("snippet", [
+        "def f(start, end):\n    return start == end\n",
+        "def f(demand):\n    return demand != 0.0\n",
+        "def f(x):\n    return x == 1.5\n",
+        "def f(entry):\n    return entry.bandwidth_mbps == 10\n",
+    ])
+    def test_exact_comparison_flags(self, run, snippet):
+        findings = run(snippet, rule_id="QLNT102")
+        assert findings and "isclose" in findings[0].message
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(start, end):\n    return start <= end\n",
+        "def f(value):\n    return value == int(value)\n",
+        "def f(count):\n    return count == 1\n",
+        "def f(name):\n    return name == 'other'\n",
+    ])
+    def test_ordering_and_exact_casts_are_clean(self, run, snippet):
+        assert run(snippet, rule_id="QLNT102") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT103 — raw quantity literals
+# ----------------------------------------------------------------------
+
+class TestQuantityLiterals:
+    @pytest.mark.parametrize("snippet", [
+        "LIMIT = '64MB'\n",
+        "def f():\n    return compare('10 Mbps')\n",
+        "BOUNDS = {'loss': '10%'}\n",
+    ])
+    def test_raw_literal_flags(self, run, snippet):
+        assert run(snippet, rule_id="QLNT103")
+
+    @pytest.mark.parametrize("snippet", [
+        "x = parse_memory_mb('64MB')\n",
+        "y = parse_bandwidth_mbps('10 Mbps')\n",
+        '"""Parses strings such as ``64MB``."""\n',
+        "def f():\n    '10 Mbps'\n",  # standalone string: prose
+        "label = 'memory'\n",
+    ])
+    def test_units_constructors_and_prose_are_clean(self, run, snippet):
+        assert run(snippet, rule_id="QLNT103") == []
+
+    def test_units_module_is_exempt(self, run):
+        assert run("CANON = '1MB'\n",
+                   relpath="src/repro/units.py",
+                   rule_id="QLNT103") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT104 — broad except
+# ----------------------------------------------------------------------
+
+class TestBroadExcept:
+    def test_swallowing_broad_except_flags(self, run):
+        snippet = ("def f():\n"
+                   "    try:\n"
+                   "        work()\n"
+                   "    except Exception:\n"
+                   "        pass\n")
+        assert run(snippet, rule_id="QLNT104")
+
+    def test_bare_except_always_flags(self, run):
+        snippet = ("def f():\n"
+                   "    try:\n"
+                   "        work()\n"
+                   "    except:\n"
+                   "        raise\n")
+        assert run(snippet, rule_id="QLNT104")
+
+    def test_reraise_is_clean(self, run):
+        snippet = ("def f():\n"
+                   "    try:\n"
+                   "        work()\n"
+                   "    except Exception:\n"
+                   "        raise\n")
+        assert run(snippet, rule_id="QLNT104") == []
+
+    def test_logging_is_clean(self, run):
+        snippet = ("def f(self):\n"
+                   "    try:\n"
+                   "        work()\n"
+                   "    except Exception as exc:\n"
+                   "        self._record(f'failed: {exc}')\n")
+        assert run(snippet, rule_id="QLNT104") == []
+
+    def test_narrow_except_is_clean(self, run):
+        snippet = ("def f():\n"
+                   "    try:\n"
+                   "        work()\n"
+                   "    except AdmissionError:\n"
+                   "        pass\n")
+        assert run(snippet, rule_id="QLNT104") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT105 — foreign exceptions
+# ----------------------------------------------------------------------
+
+class TestForeignExceptions:
+    @pytest.mark.parametrize("snippet", [
+        "def f():\n    raise ValueError('bad')\n",
+        "def f():\n    raise KeyError('missing')\n",
+        "def f():\n    raise RuntimeError('boom')\n",
+    ])
+    def test_stdlib_raise_flags(self, run, snippet):
+        findings = run(snippet, rule_id="QLNT105")
+        assert findings and "GQoSMError" in findings[0].message
+
+    @pytest.mark.parametrize("snippet", [
+        "def f():\n    raise UnitError('bad')\n",
+        "def f():\n    raise ValidationError('bad')\n",
+        "def f():\n    raise NotImplementedError\n",
+        "def f():\n    raise\n",
+        "def f(exc):\n    raise exc\n",
+    ])
+    def test_domain_and_protocol_raises_are_clean(self, run, snippet):
+        assert run(snippet, rule_id="QLNT105") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT106 — __all__ drift
+# ----------------------------------------------------------------------
+
+class TestExports:
+    def test_public_init_without_all_flags(self, run):
+        findings = run("from .engine import Simulator\n",
+                       relpath="src/repro/somepkg/__init__.py",
+                       rule_id="QLNT106")
+        assert findings and "__all__" in findings[0].message
+
+    def test_phantom_export_flags(self, run):
+        snippet = ("def real():\n    pass\n"
+                   "__all__ = ['real', 'phantom']\n")
+        findings = run(snippet, rule_id="QLNT106")
+        assert findings and "phantom" in findings[0].message
+
+    def test_duplicate_export_flags(self, run):
+        snippet = "x = 1\n__all__ = ['x', 'x']\n"
+        assert run(snippet, rule_id="QLNT106")
+
+    def test_consistent_init_is_clean(self, run):
+        snippet = ("from .engine import Simulator\n"
+                   "__all__ = ['Simulator']\n")
+        assert run(snippet,
+                   relpath="src/repro/somepkg/__init__.py",
+                   rule_id="QLNT106") == []
+
+    def test_plain_module_without_all_is_clean(self, run):
+        assert run("def helper():\n    pass\n",
+                   rule_id="QLNT106") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT107 — state-machine transitions
+# ----------------------------------------------------------------------
+
+class TestStateTransitions:
+    def test_undeclared_transition_flags(self, run):
+        snippet = ("class Reservation:\n"
+                   "    def commit(self):\n"
+                   "        self.state = ReservationState.BOUND\n")
+        findings = run(snippet, rule_id="QLNT107")
+        assert findings and "undeclared transition" in findings[0].message
+
+    def test_unregistered_machine_flags(self, run):
+        snippet = ("class Widget:\n"
+                   "    def flip(self):\n"
+                   "        self.state = WidgetState.ON\n")
+        findings = run(snippet, rule_id="QLNT107")
+        assert findings and "not registered" in findings[0].message
+
+    def test_computed_state_value_flags(self, run):
+        snippet = ("class Reservation:\n"
+                   "    def restore(self, saved):\n"
+                   "        self.state = saved\n")
+        findings = run(snippet, rule_id="QLNT107")
+        assert findings and "computed" in findings[0].message
+
+    def test_declared_transition_is_clean(self, run):
+        snippet = ("class Reservation:\n"
+                   "    def commit(self):\n"
+                   "        self.state = ReservationState.COMMITTED\n")
+        assert run(snippet, rule_id="QLNT107") == []
+
+    def test_non_state_assignment_is_clean(self, run):
+        snippet = ("class Reservation:\n"
+                   "    def label(self):\n"
+                   "        self.name = 'res'\n")
+        assert run(snippet, rule_id="QLNT107") == []
+
+    def test_table_matches_the_real_enums(self):
+        """Every member the table references must exist on the enum."""
+        from repro.gara.reservation import ReservationState
+        from repro.resources.compute import JobState
+        from repro.resources.machine import NodeState
+        from repro.sla.lifecycle import Phase
+        from repro.sla.negotiation import NegotiationState
+        enums = {"ReservationState": ReservationState, "Phase": Phase,
+                 "NegotiationState": NegotiationState,
+                 "JobState": JobState, "NodeState": NodeState}
+        assert set(STATE_MACHINES) == set(enums)
+        for name, spec in STATE_MACHINES.items():
+            members = {member.name for member in enums[name]}
+            for method, allowed in spec.transitions.items():
+                assert allowed <= members, (name, method)
+
+
+# ----------------------------------------------------------------------
+# QLNT108 — mutable defaults
+# ----------------------------------------------------------------------
+
+class TestMutableDefaults:
+    @pytest.mark.parametrize("snippet", [
+        "def f(x=[]):\n    pass\n",
+        "def f(x={}):\n    pass\n",
+        "def f(*, x=set()):\n    pass\n",
+        "def f(x=dict()):\n    pass\n",
+    ])
+    def test_mutable_default_flags(self, run, snippet):
+        assert run(snippet, rule_id="QLNT108")
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(x=None):\n    pass\n",
+        "def f(x=()):\n    pass\n",
+        "def f(x=0):\n    pass\n",
+    ])
+    def test_immutable_default_is_clean(self, run, snippet):
+        assert run(snippet, rule_id="QLNT108") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT109 — unordered iteration
+# ----------------------------------------------------------------------
+
+class TestUnorderedIteration:
+    @pytest.mark.parametrize("snippet", [
+        "for item in {'a', 'b'}:\n    use(item)\n",
+        "xs = [x for x in set(items)]\n",
+        "def f(registry):\n"
+        "    for name, svc in registry.items():\n"
+        "        use(name, svc)\n",
+    ])
+    def test_unordered_iteration_flags(self, run, snippet):
+        assert run(snippet, rule_id="QLNT109")
+
+    @pytest.mark.parametrize("snippet", [
+        "for item in sorted({'a', 'b'}):\n    use(item)\n",
+        "for item in ['a', 'b']:\n    use(item)\n",
+        "def f(mapping):\n"
+        "    for key, value in mapping.items():\n"
+        "        use(key, value)\n",
+    ])
+    def test_ordered_iteration_is_clean(self, run, snippet):
+        assert run(snippet, rule_id="QLNT109") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT110 — unused imports
+# ----------------------------------------------------------------------
+
+class TestUnusedImports:
+    def test_unused_import_flags(self, run):
+        findings = run("import itertools\n\nx = 1\n", rule_id="QLNT110")
+        assert findings and "itertools" in findings[0].message
+
+    def test_used_import_is_clean(self, run):
+        assert run("import itertools\n\nc = itertools.count()\n",
+                   rule_id="QLNT110") == []
+
+    def test_reexport_via_all_counts_as_use(self, run):
+        snippet = ("from .engine import Simulator\n"
+                   "__all__ = ['Simulator']\n")
+        assert run(snippet, rule_id="QLNT110") == []
+
+    def test_future_annotations_is_exempt(self, run):
+        assert run("from __future__ import annotations\nx = 1\n",
+                   rule_id="QLNT110") == []
+
+
+# ----------------------------------------------------------------------
+# QLNT111 — debug prints
+# ----------------------------------------------------------------------
+
+class TestDebugPrints:
+    def test_print_in_library_flags(self, run):
+        assert run("def f():\n    print('debug')\n", rule_id="QLNT111")
+
+    def test_cli_module_is_exempt(self, run):
+        assert run("def main():\n    print('report')\n",
+                   relpath="src/repro/cli.py",
+                   rule_id="QLNT111") == []
+
+    def test_experiments_are_exempt(self, run):
+        assert run("def render():\n    print('table')\n",
+                   relpath="src/repro/experiments/reporting.py",
+                   rule_id="QLNT111") == []
+
+
+# ----------------------------------------------------------------------
+# Catalogue invariants
+# ----------------------------------------------------------------------
+
+def test_rule_catalogue_is_stable():
+    rules = all_rules()
+    ids = [rule.rule_id for rule in rules]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 8
+    assert all(rule.title for rule in rules)
+    expected = {f"QLNT1{n:02d}" for n in range(1, 12)}
+    assert set(ids) == expected
