@@ -12,3 +12,10 @@ python -m repro.analysis src --strict
 
 echo "== pytest =="
 python -m pytest -x -q "$@"
+
+echo "== chaos smoke (fixed seed) =="
+# One seeded chaos run of the quickstart flow: exercises fault
+# injection, retries, dedup and dead-lettering end to end; the fixed
+# seed keeps it deterministic run-to-run.
+python -m repro quickstart --chaos 7 > /dev/null
+echo "chaos smoke OK (seed 7)"

@@ -15,6 +15,7 @@ QLNT108   Mutable default argument
 QLNT109   Iteration over an unordered set / shared registry
 QLNT110   Unused import
 QLNT111   Debug ``print`` in library code
+QLNT112   Raw ``bus.request()`` outside the transport layer
 ========  ==============================================================
 """
 
@@ -26,6 +27,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     exports,
     floats,
     hygiene,
+    messaging,
     quantities,
     states,
 )
@@ -36,6 +38,7 @@ __all__ = [
     "exports",
     "floats",
     "hygiene",
+    "messaging",
     "quantities",
     "states",
 ]

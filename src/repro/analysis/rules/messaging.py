@@ -1,0 +1,55 @@
+"""QLNT112 — raw synchronous bus calls in client-side code.
+
+``MessageBus.request`` is the *unprotected* transport primitive: no
+timeout, no retry, no backoff, no circuit breaker. Under fault
+injection a raw call surfaces :class:`~repro.errors.MessageDropped`
+straight into domain logic. Client-side code in ``core``/``sla`` must
+go through a :class:`~repro.xmlmsg.resilient.ResilientCaller`
+(``caller.call(...)``) instead; only the transport layer itself
+(``repro.xmlmsg``) and test/benchmark code may touch the primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Receiver names that denote the message bus.
+_BUS_NAMES = ("bus", "_bus")
+
+
+def _receiver_name(node: ast.expr) -> "str | None":
+    """The simple name a call receiver goes by (``bus``, ``self._bus``,
+    ``testbed.bus`` ...), or ``None`` for anything more exotic."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class RawBusRequestRule(Rule):
+    rule_id = "QLNT112"
+    title = "raw bus.request() outside the transport layer"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def applies_to(self, relpath: str) -> bool:
+        # Only client-side control-plane code is constrained; the
+        # transport layer is where the primitive legitimately lives.
+        normalized = relpath.replace("\\", "/")
+        return "repro/core/" in normalized or "repro/sla/" in normalized
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "request"):
+            return
+        receiver = _receiver_name(func.value)
+        if receiver in _BUS_NAMES:
+            ctx.report(self, node,
+                       "direct bus.request() bypasses retry/timeout/"
+                       "circuit-breaker protection; route the call "
+                       "through a ResilientCaller (caller.call(...))")

@@ -38,7 +38,11 @@ from .workloads.generators import (
 )
 
 
-def _cmd_quickstart(_args: argparse.Namespace) -> int:
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    if getattr(args, "chaos", None) is not None:
+        from .experiments.chaos_demo import run_chaos_quickstart
+        print(run_chaos_quickstart(args.chaos))
+        return 0
     import importlib.util
     import pathlib
     # The quickstart example is the canonical walkthrough; reuse it.
@@ -176,8 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="G-QoSM reproduction: demos and experiments")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
+    quickstart = subparsers.add_parser(
         "quickstart", help="run one full QoS session end to end")
+    quickstart.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="run the session over a lossy control plane with "
+             "seeded fault injection")
     subparsers.add_parser(
         "example56", help="replay the Section 5.6 worked example")
     subparsers.add_parser(

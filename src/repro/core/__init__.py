@@ -13,8 +13,11 @@
 * :mod:`repro.core.allocation` — the Allocation manager (Alloc-M).
 * :mod:`repro.core.accounting` — revenue, penalties, promotions.
 * :mod:`repro.core.broker` — the AQoS broker orchestrating everything.
+* :mod:`repro.core.discovery` — pluggable service discovery (direct,
+  or over the bus with stale-cache degradation).
 * :mod:`repro.core.testbed` — wiring helpers reproducing the Figure 5
-  testbed and the Figure 1 multi-domain architecture.
+  testbed and the Figure 1 multi-domain architecture, plus the
+  control-plane/chaos wiring.
 """
 
 from .accounting import AccountingLedger
@@ -22,6 +25,12 @@ from .adaptation import AdaptationEngine
 from .allocation import AllocationManager
 from .broker import AQoSBroker, ServiceOutcome
 from .capacity import CapacityPartition, GuaranteedHolding, RebalanceReport
+from .discovery import (
+    DirectDiscovery,
+    DiscoveryResult,
+    RegistryEndpoint,
+    ResilientDiscovery,
+)
 from .optimizer import (
     OptimizationResult,
     QualityCandidate,
@@ -30,7 +39,7 @@ from .optimizer import (
 )
 from .reservation_system import CompositeReservation, ReservationSystem
 from .scenarios import ScenarioEngine
-from .testbed import Testbed, build_testbed
+from .testbed import Testbed, attach_control_plane, build_testbed, install_chaos
 
 __all__ = [
     "AQoSBroker",
@@ -39,15 +48,21 @@ __all__ = [
     "AllocationManager",
     "CapacityPartition",
     "CompositeReservation",
+    "DirectDiscovery",
+    "DiscoveryResult",
     "GuaranteedHolding",
     "OptimizationResult",
     "QualityCandidate",
     "RebalanceReport",
+    "RegistryEndpoint",
     "ReservationSystem",
+    "ResilientDiscovery",
     "ScenarioEngine",
     "ServiceOutcome",
     "Testbed",
+    "attach_control_plane",
     "build_testbed",
     "exact_optimize",
     "greedy_optimize",
+    "install_chaos",
 ]

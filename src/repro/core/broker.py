@@ -63,6 +63,7 @@ from .optimizer import (
     candidates_for,
     greedy_optimize,
 )
+from .discovery import DirectDiscovery, DiscoveryService
 from .reservation_system import CompositeReservation, ReservationSystem
 from .scenarios import ScenarioEngine
 
@@ -73,6 +74,7 @@ class BrokerStats:
 
     requests: int = 0
     accepted: int = 0
+    degraded_discoveries: int = 0
     rejected_discovery: int = 0
     rejected_capacity: int = 0
     rejected_negotiation: int = 0
@@ -180,6 +182,11 @@ class AQoSBroker:
             the AQoS broker", Section 5.5).
         promotion_policy: Callable ``(sla) -> bool`` deciding whether a
             client accepts a promotion offer (default: always).
+        discovery: Pluggable discovery transport; defaults to a
+            :class:`~repro.core.discovery.DirectDiscovery` over
+            ``registry``. Chaos wiring swaps in a
+            :class:`~repro.core.discovery.ResilientDiscovery` that
+            rides the message bus and degrades to a stale cache.
     """
 
     def __init__(self, sim: Simulator, *, registry: UddieRegistry,
@@ -195,10 +202,13 @@ class AQoSBroker:
                  ledger: Optional[AccountingLedger] = None,
                  optimizer_levels: int = 4,
                  optimizer_interval: float = 0.0,
-                 promotion_policy: Optional[Callable[[ServiceSLA], bool]] = None
+                 promotion_policy: Optional[Callable[[ServiceSLA], bool]] = None,
+                 discovery: Optional["DiscoveryService"] = None
                  ) -> None:
         self.sim = sim
         self.registry = registry
+        self.discovery = (discovery if discovery is not None
+                          else DirectDiscovery(registry))
         self.compute_rm = compute_rm
         self.partition = partition
         self.nrm = nrm
@@ -248,10 +258,22 @@ class AQoSBroker:
     # ==================================================================
 
     def discover(self, request: ServiceRequest) -> List[ServiceRecord]:
-        """Query UDDIe for services matching the request's QoS."""
+        """Query UDDIe for services matching the request's QoS.
+
+        Discovery goes through the pluggable :attr:`discovery`
+        transport; a degraded (stale-cache) answer is accepted but
+        counted and traced, so operators can see the broker running on
+        old registry data.
+        """
         query = ServiceQuery(name_pattern=request.service_name,
                              qos=request.specification)
-        matches = self.registry.find(query)
+        result = self.discovery.find(query)
+        matches = result.records
+        if result.degraded:
+            self.stats.degraded_discoveries += 1
+            self.record(f"degraded discovery for {request.client!r}: "
+                        f"serving {len(matches)} stale record(s) "
+                        f"(age {result.age:g})")
         self.record(f"discovery for {request.client!r}: "
                     f"{len(matches)} matching service(s) for "
                     f"{request.service_name!r}")

@@ -24,11 +24,12 @@ from typing import Dict, Optional
 from xml.etree import ElementTree as ET
 
 from ..errors import MessageError
-from ..sla.negotiation import Negotiation, Offer, ServiceRequest
+from ..sla.negotiation import Negotiation, NegotiationState, Offer, ServiceRequest
 from ..xmlmsg import codec
 from ..xmlmsg.bus import MessageBus
 from ..xmlmsg.document import child_text, element, subelement
 from ..xmlmsg.envelope import Envelope
+from ..xmlmsg.resilient import ResilientCaller
 from .broker import AQoSBroker
 
 
@@ -41,12 +42,49 @@ class BrokerGateway:
         self._bus = bus
         self.endpoint_name = endpoint_name
         self._negotiations: Dict[int, Negotiation] = {}
+        self._offered_at: Dict[int, float] = {}
         endpoint = bus.endpoint(endpoint_name)
         endpoint.on("service_request", self._on_service_request)
         endpoint.on("accept_offer", self._on_accept_offer)
         endpoint.on("reject_offer", self._on_reject_offer)
         endpoint.on("verify_sla", self._on_verify_sla)
         endpoint.on("renegotiate", self._on_renegotiate)
+
+    @property
+    def pending_negotiations(self) -> "tuple[int, ...]":
+        """Ids of negotiations still awaiting a client decision."""
+        return tuple(self._negotiations)
+
+    def abandon(self, negotiation_id: int) -> bool:
+        """Clear a pending negotiation the client never resolved.
+
+        The negotiation leaves the ``OFFERED`` state through the
+        regular protocol (a reject), so no state machine is wedged.
+        Returns whether the id was pending.
+        """
+        negotiation = self._negotiations.pop(negotiation_id, None)
+        self._offered_at.pop(negotiation_id, None)
+        if negotiation is None:
+            return False
+        if negotiation.state is NegotiationState.OFFERED:
+            negotiation.reject()
+        return True
+
+    def sweep_stale(self, max_age: float) -> int:
+        """Abandon negotiations offered more than ``max_age`` ago.
+
+        With a lossy transport a client's accept/reject can be lost for
+        good (circuit open); this sweep guarantees those negotiations
+        are cleanly cleared instead of pinning broker state forever.
+        Returns the number of negotiations abandoned.
+        """
+        now = self._bus.sim.now
+        stale = [negotiation_id
+                 for negotiation_id, offered_at in self._offered_at.items()
+                 if now - offered_at > max_age]
+        for negotiation_id in stale:
+            self.abandon(negotiation_id)
+        return len(stale)
 
     # ------------------------------------------------------------------
     # Handlers
@@ -60,6 +98,7 @@ class BrokerGateway:
             subelement(failure, "Reason", reason or "negotiation failed")
             return envelope.reply("service_offer_failure", failure)
         self._negotiations[negotiation.negotiation_id] = negotiation
+        self._offered_at[negotiation.negotiation_id] = self._bus.sim.now
         return envelope.reply(
             "service_offer",
             codec.encode_offers(negotiation.negotiation_id,
@@ -79,6 +118,7 @@ class BrokerGateway:
         negotiation.accept(negotiation.offers[index])
         outcome = self._broker.establish(negotiation)
         del self._negotiations[negotiation.negotiation_id]
+        self._offered_at.pop(negotiation.negotiation_id, None)
         if not outcome.accepted or outcome.sla is None:
             failure = element("Establishment_Failure")
             subelement(failure, "Reason", outcome.reason)
@@ -90,6 +130,7 @@ class BrokerGateway:
         negotiation = self._lookup(envelope)
         negotiation.reject()
         del self._negotiations[negotiation.negotiation_id]
+        self._offered_at.pop(negotiation.negotiation_id, None)
         acknowledgement = element("Offer_Rejected")
         subelement(acknowledgement, "Negotiation-ID",
                    str(negotiation.negotiation_id))
@@ -128,19 +169,28 @@ class BrokerGateway:
 
 
 class ClientStub:
-    """Client-side helper sending the Figure 7 XML messages."""
+    """Client-side helper sending the Figure 7 XML messages.
+
+    All calls go through a :class:`~repro.xmlmsg.resilient.ResilientCaller`
+    so that, under fault injection, lost legs are retried with backoff
+    and server-side dedup instead of surfacing to the example code. On
+    a perfect transport the caller is pass-through (no extra RNG draws,
+    no waits), keeping fault-free runs byte-identical.
+    """
 
     def __init__(self, name: str, bus: MessageBus, *,
-                 gateway_name: str = "aqos") -> None:
+                 gateway_name: str = "aqos",
+                 caller: Optional[ResilientCaller] = None) -> None:
         self.name = name
-        self._bus = bus
         self._gateway_name = gateway_name
+        self.caller = caller if caller is not None \
+            else ResilientCaller(bus, name=name)
 
     def _request(self, action: str, body: ET.Element) -> Envelope:
         envelope = Envelope(sender=self.name,
                             recipient=self._gateway_name,
                             action=action, body=body)
-        return self._bus.request(envelope)
+        return self.caller.call(envelope)
 
     def request_service(self, request: ServiceRequest
                         ) -> "tuple[Optional[int], list, str]":

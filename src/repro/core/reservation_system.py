@@ -150,10 +150,17 @@ class ReservationSystem:
 
         Must arrive before GARA's confirmation deadline, or the
         temporary reservation will already have been auto-cancelled.
+
+        Idempotent: a re-delivered confirm (retries and duplicated
+        messages are a fact of life on a lossy control plane) is a
+        no-op rather than an error, so at-least-once delivery can
+        never double-commit.
         """
         if composite.cancelled:
             raise ReservationError(
                 f"reservation for SLA {composite.sla_id} was cancelled")
+        if composite.confirmed:
+            return
         if composite.compute_handle is not None:
             self._compute.gara.reservation_commit(composite.compute_handle)
         composite.confirmed = True

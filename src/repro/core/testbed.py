@@ -29,15 +29,27 @@ from ..resources.machine import Machine
 from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from ..sim.trace import TraceRecorder
+from ..monitoring.relay import BusNotificationRelay
 from ..sla.repository import SLARepository
+from ..xmlmsg.bus import MessageBus
+from ..xmlmsg.faults import FaultPlan
+from ..xmlmsg.resilient import ResilientCaller, RetryPolicy
 from .broker import AQoSBroker
 from .capacity import CapacityPartition
+from .discovery import RegistryEndpoint, ResilientDiscovery
+from .gateway import BrokerGateway, ClientStub
 from ..errors import ValidationError
 
 
 @dataclass
 class Testbed:
-    """A wired single-domain G-QoSM instance."""
+    """A wired single-domain G-QoSM instance.
+
+    The control-plane fields (``bus`` onward) are ``None`` until
+    :func:`attach_control_plane` puts the broker behind the message
+    bus; ``faults`` is additionally ``None`` until
+    :func:`install_chaos` arms fault injection.
+    """
 
     sim: Simulator
     trace: TraceRecorder
@@ -49,11 +61,32 @@ class Testbed:
     registry: UddieRegistry
     partition: CapacityPartition
     broker: AQoSBroker
+    bus: Optional[MessageBus] = None
+    gateway: Optional[BrokerGateway] = None
+    registry_endpoint: Optional[RegistryEndpoint] = None
+    relay: Optional[BusNotificationRelay] = None
+    faults: Optional[FaultPlan] = None
 
     @property
     def repository(self) -> SLARepository:
         """The broker's SLA repository."""
         return self.broker.repository
+
+    def client(self, name: str, *,
+               policy: Optional[RetryPolicy] = None) -> ClientStub:
+        """A client stub with a seeded resilient caller.
+
+        Jitter for this client's backoff comes from the testbed RNG's
+        ``caller:<name>`` substream, so every client is decorrelated
+        yet the whole run replays from one seed.
+        """
+        if self.bus is None:
+            raise ValidationError(
+                "control plane not attached; call attach_control_plane()")
+        caller = ResilientCaller(
+            self.bus, rng=self.rng.stream(f"caller:{name}"),
+            policy=policy, trace=self.trace, name=name)
+        return ClientStub(name, self.bus, caller=caller)
 
 
 def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
@@ -112,6 +145,56 @@ def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
     return Testbed(sim=sim, trace=trace, rng=rng, machine=machine,
                    compute_rm=compute_rm, topology=topology, nrm=nrm,
                    registry=registry, partition=partition, broker=broker)
+
+
+def attach_control_plane(testbed: Testbed, *,
+                         latency: float = 0.0) -> Testbed:
+    """Put the broker's control plane onto the message bus.
+
+    After this call the testbed has a gateway (``aqos`` endpoint), a
+    registry endpoint (``uddie``) with the broker's discovery riding
+    the bus behind a resilient caller, and the notification hub's
+    traffic relayed as asynchronous envelopes. Without an installed
+    fault plan the transport is perfect, so behaviour is unchanged —
+    this wiring only *exposes* the control plane to the chaos layer.
+    """
+    if testbed.bus is not None:
+        return testbed
+    bus = MessageBus(testbed.sim, trace=testbed.trace, latency=latency)
+    testbed.bus = bus
+    testbed.gateway = BrokerGateway(testbed.broker, bus)
+    testbed.registry_endpoint = RegistryEndpoint(testbed.registry, bus)
+    testbed.broker.discovery = ResilientDiscovery(
+        bus,
+        caller=ResilientCaller(bus, rng=testbed.rng.stream("discovery"),
+                               trace=testbed.trace, name="aqos-discovery"),
+        trace=testbed.trace)
+    testbed.relay = BusNotificationRelay(testbed.broker.hub, bus)
+    return testbed
+
+
+def install_chaos(testbed: Testbed, seed: int, *,
+                  drop: float = 0.1, duplicate: float = 0.05,
+                  delay: float = 0.1, error: float = 0.05,
+                  reorder: float = 0.05,
+                  delay_range: "tuple[float, float]" = (0.5, 2.0)
+                  ) -> FaultPlan:
+    """Arm deterministic fault injection on the testbed's bus.
+
+    Attaches the control plane first when needed. The plan's RNG is a
+    dedicated ``faults`` substream of its own seed, independent of the
+    testbed seed, so the same workload can be replayed under many
+    fault schedules (and the same ``seed`` reproduces one exactly).
+    """
+    attach_control_plane(testbed)
+    assert testbed.bus is not None
+    plan = FaultPlan.uniform(
+        RandomSource(seed).stream("faults"), drop=drop,
+        duplicate=duplicate, delay=delay, error=error, reorder=reorder,
+        delay_range=delay_range)
+    testbed.bus.install_faults(plan)
+    testbed.faults = plan
+    return plan
 
 
 def _register_default_services(registry: UddieRegistry, total_cpu: int,

@@ -39,6 +39,40 @@ class MessageError(GQoSMError):
     """An XML message could not be encoded or decoded."""
 
 
+class TransientMessageError(MessageError):
+    """A delivery failure that a retry may cure.
+
+    Base class for the failures the chaos layer injects on the message
+    bus; :class:`~repro.xmlmsg.resilient.ResilientCaller` retries these
+    (and only these) with backoff.
+    """
+
+
+class MessageDropped(TransientMessageError):
+    """An envelope was lost in flight (request or reply leg).
+
+    The synchronous caller observes the loss as a timeout on the
+    simulation clock; an asynchronous notification lands in the bus's
+    dead-letter record instead.
+    """
+
+
+class RemoteFaultError(TransientMessageError):
+    """The remote endpoint answered with a transport-level fault.
+
+    Models a SOAP fault / HTTP 5xx: the handler may or may not have
+    run, so recovery requires an idempotent retry.
+    """
+
+
+class CircuitOpenError(MessageError):
+    """Retries against an endpoint are exhausted; the circuit is open.
+
+    Raised immediately (without touching the bus) until the breaker's
+    cooldown expires, so a dead dependency cannot stall every caller.
+    """
+
+
 class RSLError(GQoSMError, ValueError):
     """A Globus RSL resource-specification string failed to parse."""
 

@@ -12,14 +12,18 @@ utilization, to be used for adaptation purposes" (Section 3.2).
   notifications.
 * :mod:`repro.monitoring.notifications` — the pub/sub hub carrying
   degradation notifications to the broker.
+* :mod:`repro.monitoring.relay` — the hub's bus transport, making
+  notices droppable/delayable under fault injection.
 """
 
 from .mds import InformationService
 from .notifications import DegradationNotice, NotificationHub
+from .relay import BusNotificationRelay
 from .sensors import ComputeSensor, NetworkSensor, Sensor, SensorReading
 from .verifier import SlaVerifier
 
 __all__ = [
+    "BusNotificationRelay",
     "ComputeSensor",
     "DegradationNotice",
     "InformationService",

@@ -50,19 +50,43 @@ Subscriber = Callable[[DegradationNotice], None]
 
 
 class NotificationHub:
-    """A synchronous pub/sub hub for degradation notices."""
+    """A pub/sub hub for degradation notices.
+
+    By default delivery is synchronous fan-out (the pre-chaos
+    behaviour). A *transport* — e.g. the
+    :class:`~repro.monitoring.relay.BusNotificationRelay` — can be
+    installed to carry notices over the message bus instead; the
+    transport must eventually call :meth:`deliver` for each notice
+    that survives the trip (a dropped notification simply never
+    arrives, which is why consumers must also poll).
+    """
 
     def __init__(self) -> None:
         self._subscribers: List[Subscriber] = []
         self._log: List[DegradationNotice] = []
+        self._transport: Optional[Subscriber] = None
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a subscriber; every publish reaches all of them."""
         self._subscribers.append(subscriber)
 
+    def install_transport(self, transport: Optional[Subscriber]) -> None:
+        """Route future publishes through ``transport`` (``None``
+        restores synchronous fan-out)."""
+        self._transport = transport
+
     def publish(self, notice: DegradationNotice) -> None:
-        """Deliver a notice to every subscriber (and retain it)."""
+        """Emit a notice (retained in the log either way)."""
         self._log.append(notice)
+        if self._transport is not None:
+            self._transport(notice)
+            return
+        self.deliver(notice)
+
+    def deliver(self, notice: DegradationNotice) -> None:
+        """Fan a notice out to subscribers (the transport's delivery
+        entry point; called directly by :meth:`publish` when no
+        transport is installed)."""
         for subscriber in list(self._subscribers):
             subscriber(notice)
 

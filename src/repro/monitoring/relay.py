@@ -1,0 +1,137 @@
+"""Degradation notices over the message bus.
+
+In the paper the NRM "notifies" SLA-Verif and the broker over the
+network; the in-process :class:`~repro.monitoring.notifications.NotificationHub`
+made that hop invisible to the chaos layer. The
+:class:`BusNotificationRelay` restores the wire: it installs itself as
+the hub's transport, serializes each
+:class:`~repro.monitoring.notifications.DegradationNotice` into a
+``degradation_notice`` envelope, and sends it asynchronously over the
+bus to its own receiving endpoint, which fans it back out via
+:meth:`~repro.monitoring.notifications.NotificationHub.deliver`.
+
+Under fault injection a notice can now be dropped (dead-lettered),
+delayed or duplicated like any other message. Loss is survivable by
+design: the verifier's periodic conformance polling re-detects any
+degradation whose notice vanished, so adaptation is delayed — never
+deadlocked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from xml.etree import ElementTree as ET
+
+from ..qos.parameters import Dimension
+from ..sla.violations import ConformanceReport, MeasuredQoS, Violation
+from ..xmlmsg.bus import MessageBus
+from ..xmlmsg.document import child_text, element, subelement
+from ..xmlmsg.envelope import Envelope
+from .notifications import DegradationNotice, NotificationHub
+
+#: Endpoint name the relay listens on.
+HUB_ENDPOINT = "notification-hub"
+
+
+def encode_degradation_notice(notice: DegradationNotice) -> ET.Element:
+    """Serialize a notice (and its report) to ``<Degradation_Notice>``."""
+    root = element("Degradation_Notice")
+    subelement(root, "SLA-ID", str(notice.sla_id))
+    subelement(root, "Time", f"{notice.time:.12g}")
+    subelement(root, "Source", notice.source)
+    if notice.detail:
+        subelement(root, "Detail", notice.detail)
+    report = notice.report
+    if report is not None:
+        report_node = subelement(root, "Conformance_Report")
+        report_node.set("sla-id", str(report.sla_id))
+        report_node.set("time", f"{report.time:.12g}")
+        for violation in report.violations:
+            violation_node = subelement(report_node, "Violation")
+            violation_node.set("dimension", violation.dimension.value)
+            violation_node.set("expected", f"{violation.expected:.12g}")
+            violation_node.set("measured", f"{violation.measured:.12g}")
+            violation_node.set("severity", f"{violation.severity:.12g}")
+        measured_node = subelement(report_node, "Measured")
+        measured_node.set("time", f"{report.measured.time:.12g}")
+        for dimension in sorted(report.measured.values,
+                                key=lambda d: d.value):
+            value_node = subelement(measured_node, "Value")
+            value_node.set("dimension", dimension.value)
+            value_node.text = f"{report.measured.values[dimension]:.12g}"
+    return root
+
+
+def decode_degradation_notice(node: ET.Element) -> DegradationNotice:
+    """Parse a ``<Degradation_Notice>`` document."""
+    sla_id = int(child_text(node, "SLA-ID"))
+    time = float(child_text(node, "Time"))
+    report: Optional[ConformanceReport] = None
+    report_node = node.find("Conformance_Report")
+    if report_node is not None:
+        violations = tuple(
+            Violation(
+                sla_id=int(report_node.get("sla-id", "0")),
+                dimension=Dimension(violation_node.get("dimension", "")),
+                expected=float(violation_node.get("expected", "0")),
+                measured=float(violation_node.get("measured", "0")),
+                severity=float(violation_node.get("severity", "0")))
+            for violation_node in report_node.findall("Violation"))
+        measured_node = report_node.find("Measured")
+        values = {}
+        measured_time = 0.0
+        if measured_node is not None:
+            measured_time = float(measured_node.get("time", "0"))
+            for value_node in measured_node.findall("Value"):
+                values[Dimension(value_node.get("dimension", ""))] = \
+                    float(value_node.text or "0")
+        report = ConformanceReport(
+            sla_id=int(report_node.get("sla-id", "0")),
+            time=float(report_node.get("time", "0")),
+            violations=violations,
+            measured=MeasuredQoS(sla_id=sla_id, values=values,
+                                 time=measured_time))
+    return DegradationNotice(
+        sla_id=sla_id, time=time,
+        source=child_text(node, "Source", default=""),
+        report=report,
+        detail=child_text(node, "Detail", default=""))
+
+
+class BusNotificationRelay:
+    """Carries hub notices over the bus (installable chaos wiring).
+
+    Args:
+        hub: The hub whose publishes should ride the bus.
+        bus: The transport.
+        sender: Sender name stamped on the notice envelopes.
+        endpoint_name: The relay's receiving endpoint.
+        latency: Per-notice delivery latency (bus default when
+            ``None``).
+    """
+
+    def __init__(self, hub: NotificationHub, bus: MessageBus, *,
+                 sender: str = "sla-verif",
+                 endpoint_name: str = HUB_ENDPOINT,
+                 latency: Optional[float] = None) -> None:
+        self._hub = hub
+        self._bus = bus
+        self._sender = sender
+        self._latency = latency
+        self.endpoint_name = endpoint_name
+        self.sent = 0
+        endpoint = bus.endpoint(endpoint_name)
+        endpoint.on("degradation_notice", self._on_notice)
+        hub.install_transport(self._send)
+
+    def _send(self, notice: DegradationNotice) -> None:
+        envelope = Envelope(
+            sender=self._sender, recipient=self.endpoint_name,
+            action="degradation_notice",
+            body=encode_degradation_notice(notice))
+        self.sent += 1
+        self._bus.send_async(envelope, latency=self._latency)
+
+    def _on_notice(self, envelope: Envelope) -> None:
+        self._hub.deliver(decode_degradation_notice(envelope.body))
+        return None

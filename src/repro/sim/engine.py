@@ -39,6 +39,27 @@ class Simulator:
         """Current simulation time."""
         return self._now
 
+    @property
+    def running(self) -> bool:
+        """Whether :meth:`run` is currently on the call stack."""
+        return self._running
+
+    def advance(self, delta: float) -> int:
+        """Let ``delta`` time units pass, firing any due events.
+
+        Equivalent to ``run(until=now + delta)``: the clock always ends
+        at ``now + delta``. Used by synchronous callers that need to
+        wait on the simulation clock (e.g. a retry backoff) while the
+        rest of the world keeps moving.
+
+        Raises:
+            SimulationError: On a negative delta or when called from
+                inside a running event (use :attr:`running` to guard).
+        """
+        if delta < 0:
+            raise SimulationError(f"negative advance: {delta}")
+        return self.run(until=self._now + delta)
+
     def __len__(self) -> int:
         """Number of pending events."""
         return len(self._queue)

@@ -8,12 +8,16 @@ delivery can be delayed on the simulation clock.
 
 * :mod:`repro.xmlmsg.document` — small helpers over ``xml.etree``.
 * :mod:`repro.xmlmsg.envelope` — SOAP-style envelopes.
-* :mod:`repro.xmlmsg.bus` — the in-process transport.
+* :mod:`repro.xmlmsg.bus` — the in-process transport (with dead
+  letters and per-endpoint idempotency).
 * :mod:`repro.xmlmsg.codec` — encoders/decoders for the paper's
   message schemas.
+* :mod:`repro.xmlmsg.faults` — seeded fault injection (chaos layer).
+* :mod:`repro.xmlmsg.idempotency` — bounded dedup caches.
+* :mod:`repro.xmlmsg.resilient` — retry/timeout/backoff + breaker.
 """
 
-from .bus import Endpoint, MessageBus
+from .bus import DeadLetter, Endpoint, MessageBus
 from .document import (
     child_text,
     element,
@@ -23,11 +27,24 @@ from .document import (
     subelement,
 )
 from .envelope import Envelope
+from .faults import FaultDecision, FaultPlan, FaultRule, FaultStats
+from .idempotency import DEFAULT_CAPACITY, DedupCache
+from .resilient import CallerStats, ResilientCaller, RetryPolicy
 
 __all__ = [
+    "CallerStats",
+    "DEFAULT_CAPACITY",
+    "DeadLetter",
+    "DedupCache",
     "Endpoint",
     "Envelope",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
     "MessageBus",
+    "ResilientCaller",
+    "RetryPolicy",
     "child_text",
     "element",
     "parse_xml",

@@ -4,6 +4,12 @@ Clients "send XML messages to the AQoS broker using SOAP over HTTP"
 (Figure 5). An :class:`Envelope` carries routing metadata in a header
 and an arbitrary XML payload in its body; it serializes to a
 ``<Envelope>`` document and parses back losslessly.
+
+Delivery semantics headers: every envelope carries a ``<MessageID>``
+and a retried envelope additionally carries ``<RetryOf>`` naming the
+original message id, so server-side endpoints can answer duplicated or
+retried requests from a dedup cache instead of re-executing them (the
+idempotency contract — see DESIGN.md's fault model).
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from .document import child_text, element, parse_xml, pretty_xml, require_child,
 
 _message_counter = itertools.count(1)
 
+#: Header fields that must be present and non-empty on the wire.
+_REQUIRED_HEADERS = ("MessageID", "Sender", "Recipient", "Action")
+
 
 @dataclass
 class Envelope:
@@ -31,6 +40,9 @@ class Envelope:
         body: The payload element.
         message_id: Unique id, auto-assigned when omitted.
         in_reply_to: The request's message id, for responses.
+        retry_of: For a client retry, the original attempt's message
+            id. Endpoints deduplicate on :attr:`dedup_key`, so a retry
+            is answered from the cached reply of the first delivery.
         sent_at: Simulation time of sending (stamped by the bus).
     """
 
@@ -40,13 +52,35 @@ class Envelope:
     body: ET.Element
     message_id: str = field(default_factory=lambda: f"msg-{next(_message_counter)}")
     in_reply_to: Optional[str] = None
+    retry_of: Optional[str] = None
     sent_at: Optional[float] = None
+
+    @property
+    def dedup_key(self) -> str:
+        """Idempotency key: the original message id of this request.
+
+        A duplicated delivery shares its ``message_id``; a retried
+        request carries a fresh id plus ``retry_of``. Either way the
+        key identifies the one logical operation.
+        """
+        return self.retry_of or self.message_id
 
     def reply(self, action: str, body: ET.Element) -> "Envelope":
         """Construct a response envelope routed back to the sender."""
         return Envelope(sender=self.recipient, recipient=self.sender,
                         action=action, body=body,
                         in_reply_to=self.message_id)
+
+    def retry(self) -> "Envelope":
+        """A fresh retransmission of this request.
+
+        The clone gets a new ``message_id`` and names the original
+        attempt in ``retry_of`` (chained retries keep pointing at the
+        first attempt, so the dedup key is stable).
+        """
+        return Envelope(sender=self.sender, recipient=self.recipient,
+                        action=self.action, body=self.body,
+                        retry_of=self.dedup_key)
 
     def to_xml(self) -> str:
         """Serialize to an ``<Envelope>`` document."""
@@ -58,6 +92,8 @@ class Envelope:
         subelement(header, "Action", self.action)
         if self.in_reply_to is not None:
             subelement(header, "InReplyTo", self.in_reply_to)
+        if self.retry_of is not None:
+            subelement(header, "RetryOf", self.retry_of)
         if self.sent_at is not None:
             subelement(header, "SentAt", f"{self.sent_at:g}")
         body = subelement(root, "Body")
@@ -66,7 +102,13 @@ class Envelope:
 
     @classmethod
     def from_xml(cls, text: str) -> "Envelope":
-        """Parse an ``<Envelope>`` document."""
+        """Parse an ``<Envelope>`` document.
+
+        Raises:
+            MessageError: On malformed XML, a missing/empty required
+                header, or a body that does not hold exactly one
+                payload element.
+        """
         root = parse_xml(text)
         if root.tag != "Envelope":
             raise MessageError(f"expected <Envelope>, got <{root.tag}>")
@@ -76,13 +118,26 @@ class Envelope:
         if len(payloads) != 1:
             raise MessageError(
                 f"<Body> must hold exactly one payload, got {len(payloads)}")
+        fields = {}
+        for tag in _REQUIRED_HEADERS:
+            value = child_text(header, tag)
+            if not value:
+                raise MessageError(
+                    f"<Header> field <{tag}> must not be empty")
+            fields[tag] = value
         sent_at_text = child_text(header, "SentAt", default="")
+        try:
+            sent_at = float(sent_at_text) if sent_at_text else None
+        except ValueError as error:
+            raise MessageError(
+                f"<SentAt> is not a number: {sent_at_text!r}") from error
         return cls(
-            sender=child_text(header, "Sender"),
-            recipient=child_text(header, "Recipient"),
-            action=child_text(header, "Action"),
+            sender=fields["Sender"],
+            recipient=fields["Recipient"],
+            action=fields["Action"],
             body=payloads[0],
-            message_id=child_text(header, "MessageID"),
+            message_id=fields["MessageID"],
             in_reply_to=child_text(header, "InReplyTo", default="") or None,
-            sent_at=float(sent_at_text) if sent_at_text else None,
+            retry_of=child_text(header, "RetryOf", default="") or None,
+            sent_at=sent_at,
         )

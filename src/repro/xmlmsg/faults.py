@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the message bus.
+
+The paper's SOAP-over-HTTP testbed assumed a perfect transport; a
+production control plane cannot. A :class:`FaultPlan` interposes on
+:class:`~repro.xmlmsg.bus.MessageBus` and — driven entirely by the
+seeded simulation RNG — drops, duplicates, delays, reorders and
+error-replies envelopes matched by per ``(sender, recipient, action)``
+rules. Same seed, same workload ⇒ byte-identical fault schedule, so
+chaos runs are replayable test cases rather than flakes.
+
+Fault semantics per delivery leg:
+
+* ``request`` (sync) — *drop* loses the request before the handler runs
+  (the caller times out); *error* runs the handler but loses the reply
+  in a transport fault (retry needs server-side idempotency);
+  *duplicate* delivers the request twice (the dedup cache must answer
+  the second delivery from the first's reply).
+* ``reply`` (sync) — *drop*/*error* lose the response after the handler
+  ran.
+* ``notify`` (async) — *drop*/*error* dead-letter the notification;
+  *delay*/*reorder* add seeded latency so deliveries overtake each
+  other.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from ..sim.random import RandomSource
+from .envelope import Envelope
+
+#: Delivery legs a decision can apply to.
+LEGS = ("request", "reply", "notify")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} probability out of [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One match rule with its fault probabilities.
+
+    ``sender``/``recipient``/``action`` are glob patterns
+    (:mod:`fnmatch`); ``None`` matches anything. Probabilities are
+    independent per delivery.
+    """
+
+    sender: Optional[str] = None
+    recipient: Optional[str] = None
+    action: Optional[str] = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    error: float = 0.0
+    reorder: float = 0.0
+    delay_range: "Tuple[float, float]" = (0.5, 2.0)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "error", "reorder"):
+            _check_probability(name, getattr(self, name))
+        low, high = self.delay_range
+        if low < 0 or high < low:
+            raise ValidationError(
+                f"delay_range must satisfy 0 <= low <= high: "
+                f"{self.delay_range}")
+
+    def matches(self, envelope: Envelope) -> bool:
+        """Whether this rule applies to an envelope."""
+        for pattern, value in ((self.sender, envelope.sender),
+                               (self.recipient, envelope.recipient),
+                               (self.action, envelope.action)):
+            if pattern is not None and \
+                    not fnmatch.fnmatchcase(value, pattern):
+                return False
+        return True
+
+
+@dataclass
+class FaultDecision:
+    """The faults drawn for one delivery."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+    error: bool = False
+    reorder: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """Whether the delivery proceeds unperturbed."""
+        return not (self.drop or self.duplicate or self.error
+                    or self.reorder or self.delay > 0)
+
+
+@dataclass
+class FaultStats:
+    """Counters over every decision the plan made."""
+
+    decisions: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    errored: int = 0
+    reordered: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        """Flat counters for reports and benchmarks."""
+        return {
+            "decisions": self.decisions,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "errored": self.errored,
+            "reordered": self.reordered,
+        }
+
+
+class FaultPlan:
+    """An ordered rule list plus the seeded stream driving the draws.
+
+    The first matching rule decides a delivery (rules are ordered, so
+    specific rules go before catch-alls). All stochastic choices flow
+    through the given :class:`~repro.sim.random.RandomSource`, keeping
+    chaos runs replayable from one integer seed.
+    """
+
+    def __init__(self, rng: RandomSource,
+                 rules: "Sequence[FaultRule]" = ()) -> None:
+        self._rng = rng
+        self._rules = list(rules)
+        self.stats = FaultStats()
+
+    @classmethod
+    def uniform(cls, rng: RandomSource, *, drop: float = 0.0,
+                duplicate: float = 0.0, delay: float = 0.0,
+                error: float = 0.0, reorder: float = 0.0,
+                delay_range: "Tuple[float, float]" = (0.5, 2.0)
+                ) -> "FaultPlan":
+        """A plan with one catch-all rule (every message eligible)."""
+        return cls(rng, [FaultRule(drop=drop, duplicate=duplicate,
+                                   delay=delay, error=error,
+                                   reorder=reorder,
+                                   delay_range=delay_range)])
+
+    @property
+    def rules(self) -> "list[FaultRule]":
+        """The match rules, in evaluation order (a copy)."""
+        return list(self._rules)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        """Append a rule; returns self for chaining."""
+        self._rules.append(rule)
+        return self
+
+    def rule_for(self, envelope: Envelope) -> Optional[FaultRule]:
+        """The first rule matching an envelope (``None`` when exempt)."""
+        for rule in self._rules:
+            if rule.matches(envelope):
+                return rule
+        return None
+
+    def decide(self, envelope: Envelope, leg: str) -> FaultDecision:
+        """Draw the faults for one delivery of ``envelope`` on ``leg``.
+
+        The draw order is fixed (drop, error, duplicate, delay,
+        reorder) so the stream consumption — and therefore every later
+        decision — is a pure function of the seed and the message
+        sequence.
+        """
+        if leg not in LEGS:
+            raise ValidationError(f"unknown delivery leg {leg!r}")
+        decision = FaultDecision()
+        rule = self.rule_for(envelope)
+        if rule is None:
+            return decision
+        self.stats.decisions += 1
+        if rule.drop > 0 and self._rng.probability(rule.drop):
+            decision.drop = True
+            self.stats.dropped += 1
+            return decision
+        if rule.error > 0 and self._rng.probability(rule.error):
+            decision.error = True
+            self.stats.errored += 1
+            return decision
+        if rule.duplicate > 0 and self._rng.probability(rule.duplicate):
+            decision.duplicate = True
+            self.stats.duplicated += 1
+        if rule.delay > 0 and self._rng.probability(rule.delay):
+            decision.delay += self._rng.uniform(*rule.delay_range)
+            self.stats.delayed += 1
+        if rule.reorder > 0 and self._rng.probability(rule.reorder):
+            # Reordering is a deliberately larger hold-back: the
+            # envelope is released only after later traffic has had
+            # time to overtake it.
+            low, high = rule.delay_range
+            decision.reorder = True
+            decision.delay += high + self._rng.uniform(low, high)
+            self.stats.reordered += 1
+        return decision

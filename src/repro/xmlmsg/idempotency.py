@@ -1,0 +1,78 @@
+"""Bounded idempotency caches for at-least-once delivery.
+
+With fault injection (or plain client retries) an endpoint can see the
+same logical request more than once: a duplicated delivery reuses the
+envelope's ``message_id``; a retry carries ``retry_of``. Either way the
+:attr:`~repro.xmlmsg.envelope.Envelope.dedup_key` identifies the one
+logical operation, and a :class:`DedupCache` remembers its outcome so
+re-deliveries are answered without re-executing the handler — a
+duplicated ``create`` must never double-reserve capacity.
+
+The cache is bounded (FIFO eviction) so a long-lived endpoint cannot
+grow without limit; the capacity only needs to cover the retry window,
+not the session's lifetime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from ..errors import ValidationError
+
+V = TypeVar("V")
+
+#: Default number of remembered operations per endpoint.
+DEFAULT_CAPACITY = 256
+
+
+class DedupCache(Generic[V]):
+    """A bounded mapping from idempotency key to cached outcome.
+
+    Args:
+        capacity: Maximum number of remembered keys; the oldest entry
+            is evicted first (insertion order, deterministic).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"dedup capacity must be at least 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, V]" = OrderedDict()
+        self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def seen(self, key: str) -> bool:
+        """Whether ``key`` was already executed (counts as a hit)."""
+        if key in self._entries:
+            self.hits += 1
+            return True
+        return False
+
+    def get(self, key: str) -> Optional[V]:
+        """The cached outcome for ``key`` (``None`` when unknown)."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: V) -> V:
+        """Remember the outcome of one executed operation."""
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            evicted_key = next(iter(self._entries))
+            del self._entries[evicted_key]
+            self.evictions += 1
+        self._entries[key] = value
+        return value
+
+    def items(self) -> "Iterator[Tuple[str, V]]":
+        """Remembered (key, outcome) pairs, oldest first."""
+        return iter(list(self._entries.items()))
+
+    def clear(self) -> None:
+        """Forget everything (counters are kept)."""
+        self._entries.clear()

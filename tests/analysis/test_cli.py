@@ -38,6 +38,8 @@ VIOLATIONS = {
                 "RESULT = [x for x in {'a', 'b'}]\n"),
     "QLNT110": ("unused.py", "import itertools\n\nVALUE = 1\n"),
     "QLNT111": ("printer.py", "def f():\n    print('debug')\n"),
+    "QLNT112": ("repro/core/client.py",
+                "def f(bus, envelope):\n    return bus.request(envelope)\n"),
 }
 
 

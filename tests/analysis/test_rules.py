@@ -357,6 +357,47 @@ class TestDebugPrints:
 
 
 # ----------------------------------------------------------------------
+# QLNT112 — raw bus.request() outside the transport layer
+# ----------------------------------------------------------------------
+
+class TestRawBusRequest:
+    @pytest.mark.parametrize("snippet", [
+        "def f(bus, envelope):\n    return bus.request(envelope)\n",
+        ("class Stub:\n"
+         "    def call(self, envelope):\n"
+         "        return self._bus.request(envelope)\n"),
+        "def f(testbed, envelope):\n    return testbed.bus.request(envelope)\n",
+    ])
+    def test_raw_request_in_core_flags(self, run, snippet):
+        findings = run(snippet, relpath="src/repro/core/gateway.py",
+                       rule_id="QLNT112")
+        assert findings and "ResilientCaller" in findings[0].message
+
+    def test_raw_request_in_sla_flags(self, run):
+        assert run("def f(bus, e):\n    return bus.request(e)\n",
+                   relpath="src/repro/sla/negotiation.py",
+                   rule_id="QLNT112")
+
+    def test_resilient_caller_is_clean(self, run):
+        snippet = ("def f(caller, envelope):\n"
+                   "    return caller.call(envelope)\n")
+        assert run(snippet, relpath="src/repro/core/gateway.py",
+                   rule_id="QLNT112") == []
+
+    def test_transport_layer_is_exempt(self, run):
+        assert run("def f(bus, e):\n    return bus.request(e)\n",
+                   relpath="src/repro/xmlmsg/resilient.py",
+                   rule_id="QLNT112") == []
+
+    def test_unrelated_request_receivers_are_clean(self, run):
+        # requests to non-bus objects (an HTTP session, a queue) are
+        # out of scope for the rule.
+        assert run("def f(session, e):\n    return session.request(e)\n",
+                   relpath="src/repro/core/broker.py",
+                   rule_id="QLNT112") == []
+
+
+# ----------------------------------------------------------------------
 # Catalogue invariants
 # ----------------------------------------------------------------------
 
@@ -367,5 +408,5 @@ def test_rule_catalogue_is_stable():
     assert len(ids) == len(set(ids))
     assert len(ids) >= 8
     assert all(rule.title for rule in rules)
-    expected = {f"QLNT1{n:02d}" for n in range(1, 12)}
+    expected = {f"QLNT1{n:02d}" for n in range(1, 13)}
     assert set(ids) == expected

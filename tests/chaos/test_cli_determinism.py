@@ -1,0 +1,46 @@
+"""Byte-level determinism of the chaos CLI across fresh processes.
+
+The in-process tests mask process-global counters; these tests prove
+the stronger property the issue demands: two separate interpreter
+invocations of ``python -m repro quickstart --chaos SEED`` produce
+*byte-identical* output, and the faults-off quickstart is unaffected
+by the chaos layer's existence.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def run_cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO, env={"PYTHONPATH": str(SRC), "PATH": ""},
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_chaos_quickstart_is_byte_identical_across_processes():
+    first = run_cli("quickstart", "--chaos", "7")
+    second = run_cli("quickstart", "--chaos", "7")
+    assert first == second
+    # The report carries the chaos evidence.
+    assert "chaos accounting" in first
+    assert "capacity_conserved (Cg+Ca+Cb == C): True" in first
+
+
+def test_different_chaos_seeds_change_the_schedule():
+    assert run_cli("quickstart", "--chaos", "7") != \
+        run_cli("quickstart", "--chaos", "42")
+
+
+def test_faults_off_quickstart_never_mentions_chaos():
+    output = run_cli("quickstart")
+    assert "chaos" not in output.lower()
+    assert "dead letter" not in output.lower()

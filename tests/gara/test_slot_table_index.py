@@ -19,6 +19,7 @@ from repro.errors import CapacityError
 from repro.gara._reference import NaiveSlotTable
 from repro.gara.slot_table import FOREVER, SlotTable
 from repro.qos.vector import ResourceVector
+from repro.xmlmsg.idempotency import DedupCache
 
 CAPACITY = ResourceVector(cpu=12, memory_mb=2048, disk_mb=4096,
                           bandwidth_mbps=100)
@@ -141,6 +142,77 @@ class TestDifferential:
         assert len(indexed) == 0
         assert indexed.usage_profile() == []
         assert indexed.usage_at(50.0) == ResourceVector.zero()
+
+
+class _KeyedDelivery:
+    """A slot table behind an at-least-once transport.
+
+    Every operation arrives as a keyed message; re-deliveries of a key
+    are answered from a :class:`DedupCache` without re-executing, the
+    way a bus endpoint answers a duplicated GARA ``create``."""
+
+    def __init__(self, table):
+        self.table = table
+        self.live = []
+        self.dedup = DedupCache(capacity=1024)
+        self.executions = 0
+
+    def deliver(self, key, op):
+        if self.dedup.seen(key):
+            return self.dedup.get(key)
+        self.executions += 1
+        return self.dedup.put(key, _apply(self.table, self.live, op))
+
+
+class TestDuplicatedKeyedDeliveries:
+    """At-least-once delivery + dedup ≡ exactly-once execution.
+
+    The indexed table receives every operation once, twice or three
+    times (immediate duplicates plus a full late-retry storm at the
+    end) through the dedup layer; the naive oracle receives each
+    operation exactly once. Identical final state — to strict float
+    equality — means a duplicated keyed delivery can never
+    double-reserve, double-release or double-resize."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations,
+           st.lists(st.integers(min_value=0, max_value=2), min_size=30,
+                    max_size=30))
+    def test_duplicates_through_dedup_match_exactly_once_oracle(
+            self, ops, extra_deliveries):
+        keyed = _KeyedDelivery(SlotTable(CAPACITY))
+        naive = NaiveSlotTable(CAPACITY)
+        live_naive = []
+        for index, op in enumerate(ops):
+            key = f"msg-{index}"
+            first = keyed.deliver(key, op)
+            for _ in range(extra_deliveries[index % len(extra_deliveries)]):
+                assert keyed.deliver(key, op) is first
+            assert _apply(naive, live_naive, op) is first, op
+        # A late retry storm: every key re-delivered once more, in
+        # order. Nothing may change.
+        for index, op in enumerate(ops):
+            keyed.deliver(f"msg-{index}", op)
+        assert keyed.executions == len(ops)
+        assert keyed.dedup.hits >= len(ops)
+        _assert_tables_match(keyed.table, naive)
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations)
+    def test_interleaved_redeliveries_of_all_prior_keys(self, ops):
+        """After each new operation, every earlier key is re-delivered
+        (worst-case retry interleaving); the table must track the
+        exactly-once oracle after every step."""
+        keyed = _KeyedDelivery(SlotTable(CAPACITY))
+        naive = NaiveSlotTable(CAPACITY)
+        live_naive = []
+        for index, op in enumerate(ops):
+            keyed.deliver(f"msg-{index}", op)
+            _apply(naive, live_naive, op)
+            for earlier in range(index + 1):
+                keyed.deliver(f"msg-{earlier}", ops[earlier])
+            _assert_tables_match(keyed.table, naive)
+        assert keyed.executions == len(ops)
 
 
 class TestFastPaths:

@@ -5,8 +5,10 @@ error, and the observable state stays consistent."""
 
 from __future__ import annotations
 
+import re
+
 import pytest
-from hypothesis import settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -14,7 +16,15 @@ from hypothesis.stateful import (
     rule,
 )
 
-from repro.errors import LifecycleError, NegotiationError
+from repro.core.testbed import attach_control_plane, build_testbed
+from repro.errors import (
+    LifecycleError,
+    MessageError,
+    NegotiationError,
+    ValidationError,
+)
+from repro.xmlmsg.document import element, subelement
+from repro.xmlmsg.envelope import Envelope
 from repro.qos.classes import ServiceClass
 from repro.qos.parameters import Dimension, range_parameter
 from repro.qos.specification import QoSSpecification
@@ -160,3 +170,119 @@ class LifecycleMachine(RuleBasedStateMachine):
 LifecycleMachine.TestCase.settings = settings(
     max_examples=40, stateful_step_count=30, deadline=None)
 TestLifecycleFuzz = LifecycleMachine.TestCase
+
+
+# ======================================================================
+# Envelope wire fuzz: mutated / truncated headers
+# ======================================================================
+
+_HEADER_TAGS = ("MessageID", "Sender", "Recipient", "Action")
+
+_mutations = st.one_of(
+    st.tuples(st.just("truncate"), st.integers(min_value=0)),
+    st.tuples(st.just("drop_header"), st.sampled_from(_HEADER_TAGS)),
+    st.tuples(st.just("blank_header"), st.sampled_from(_HEADER_TAGS)),
+    st.tuples(st.just("scramble_header"), st.sampled_from(_HEADER_TAGS),
+              st.text(alphabet="abcxyz-0123<&", min_size=1, max_size=12)),
+    st.tuples(st.just("noise_in_header"), st.integers(min_value=0),
+              st.sampled_from(list("<>&\"'qz0/"))),
+)
+
+
+def _mutate(xml: str, op) -> str:
+    """Apply one header-targeted wire mutation to an envelope doc."""
+    kind = op[0]
+    if kind == "truncate":
+        return xml[:op[1] % (len(xml) + 1)]
+    if kind == "drop_header":
+        return re.sub(rf"\s*<{op[1]}>[^<]*</{op[1]}>", "", xml, count=1)
+    if kind == "blank_header":
+        return re.sub(rf"<{op[1]}>[^<]*</{op[1]}>",
+                      f"<{op[1]}></{op[1]}>", xml, count=1)
+    if kind == "scramble_header":
+        return re.sub(rf"<{op[1]}>[^<]*</{op[1]}>",
+                      f"<{op[1]}>{op[2]}</{op[1]}>", xml, count=1)
+    # noise_in_header: inject one character somewhere inside <Header>
+    # (anywhere, if an earlier truncation already removed the header).
+    start = xml.find("<Header>")
+    end = xml.find("</Header>")
+    if start == -1 or end == -1 or end <= start:
+        start, end = 0, len(xml)
+    position = start + op[1] % max(end - start, 1)
+    return xml[:position] + op[2] + xml[position:]
+
+
+def _sample_envelope_xml() -> str:
+    body = element("Accept_Offer")
+    subelement(body, "Negotiation-ID", "1")
+    subelement(body, "Offer-Index", "0")
+    return Envelope(sender="fuzz", recipient="aqos",
+                    action="accept_offer", body=body).to_xml()
+
+
+class TestEnvelopeWireFuzz:
+    """Malformed control-plane messages must fail typed — and never
+    half-commit a reservation."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(_mutations, min_size=1, max_size=3))
+    def test_parse_raises_message_error_or_roundtrips(self, ops):
+        """Any header mutation/truncation either still parses or
+        raises :class:`MessageError` — never ``KeyError``,
+        ``AttributeError`` or a raw ``ParseError``."""
+        xml = _sample_envelope_xml()
+        for op in ops:
+            xml = _mutate(xml, op)
+        try:
+            envelope = Envelope.from_xml(xml)
+        except MessageError:
+            return
+        # Survivors must re-serialize losslessly (headers are intact).
+        replayed = Envelope.from_xml(envelope.to_xml())
+        assert replayed.dedup_key == envelope.dedup_key
+        assert replayed.action == envelope.action
+
+    @settings(max_examples=25, deadline=None)
+    @given(_mutations)
+    def test_mutated_accept_never_partially_commits(self, op):
+        """A mutated ``accept_offer`` either fails with a typed error
+        and changes *nothing* (no committed capacity, no slot-table
+        entry, negotiation still pending) or goes through whole."""
+        testbed = attach_control_plane(build_testbed())
+        client = testbed.client("fuzz")
+        negotiation_id, offers, _reason = client.request_service(
+            _request_for_broker())
+        assert negotiation_id is not None and offers
+        partition = testbed.partition
+        table = testbed.compute_rm.slot_table
+        committed_before = partition.committed_total()
+        entries_before = len(table)
+        slas_before = len(testbed.repository.all())
+
+        body = element("Accept_Offer")
+        subelement(body, "Negotiation-ID", str(negotiation_id))
+        subelement(body, "Offer-Index", "0")
+        xml = _mutate(Envelope(sender="fuzz", recipient="aqos",
+                               action="accept_offer", body=body).to_xml(),
+                      op)
+        try:
+            response = testbed.bus.request(Envelope.from_xml(xml))
+        except (MessageError, ValidationError):
+            # All-or-nothing: the failed message left no trace.
+            assert partition.committed_total() == committed_before
+            assert len(table) == entries_before
+            assert len(testbed.repository.all()) == slas_before
+            assert negotiation_id in testbed.gateway.pending_negotiations
+        else:
+            assert response.action == "sla_established"
+            assert len(testbed.repository.all()) == slas_before + 1
+            assert negotiation_id not in \
+                testbed.gateway.pending_negotiations
+
+
+def _request_for_broker():
+    spec = QoSSpecification.of(range_parameter(Dimension.CPU, 2, 8))
+    return ServiceRequest(client="fuzz",
+                          service_name="simulation-service",
+                          service_class=ServiceClass.CONTROLLED_LOAD,
+                          specification=spec, start=0.0, end=10.0)
