@@ -19,3 +19,15 @@ echo "== chaos smoke (fixed seed) =="
 # seed keeps it deterministic run-to-run.
 python -m repro quickstart --chaos 7 > /dev/null
 echo "chaos smoke OK (seed 7)"
+
+echo "== telemetry smoke (byte-determinism) =="
+# Two fixed-seed telemetry runs must print byte-identical reports:
+# span ids, JSONL event stream and metrics snapshot are all functions
+# of the seeds alone.
+tel_a="$(mktemp)"; tel_b="$(mktemp)"
+python -m repro quickstart --telemetry > "$tel_a"
+python -m repro quickstart --telemetry > "$tel_b"
+diff "$tel_a" "$tel_b" > /dev/null || {
+    echo "telemetry report is not deterministic" >&2; exit 1; }
+rm -f "$tel_a" "$tel_b"
+echo "telemetry smoke OK (deterministic)"

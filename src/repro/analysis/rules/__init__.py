@@ -16,6 +16,7 @@ QLNT109   Iteration over an unordered set / shared registry
 QLNT110   Unused import
 QLNT111   Debug ``print`` in library code
 QLNT112   Raw ``bus.request()`` outside the transport layer
+QLNT113   Private mutable counter shadowing the metrics registry
 ========  ==============================================================
 """
 
@@ -30,6 +31,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     messaging,
     quantities,
     states,
+    telemetry,
 )
 
 __all__ = [
@@ -41,4 +43,5 @@ __all__ = [
     "messaging",
     "quantities",
     "states",
+    "telemetry",
 ]

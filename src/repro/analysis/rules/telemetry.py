@@ -1,0 +1,62 @@
+"""QLNT113 — private mutable counters for cross-cutting statistics.
+
+The telemetry hub owns one :class:`~repro.telemetry.MetricsRegistry`
+per control plane; counters that describe cross-cutting behaviour
+(cache hits, messages seen, totals) belong there, where they get
+labels, exact time-weighting and a Prometheus rendering for free. A
+bare ``self.stale_hits += 1`` on a component is a shadow counting
+mechanism: it drifts from the registry, is invisible to the exporters,
+and every new dashboard has to know about it separately. Components in
+the instrumented layers must increment a registry counter (or expose a
+read-only property over one) instead.
+
+Local dataclass stat bundles (``self.stats.drops += 1``) stay legal —
+the rule only fires on counter-named attributes directly on ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Attribute-name suffixes that mark a cross-cutting counter.
+_COUNTER_SUFFIXES = ("hits", "_total", "_seen")
+
+#: Exact attribute names that are counters regardless of suffix.
+_COUNTER_NAMES = ("tests_run",)
+
+
+def _is_counter_name(attr: str) -> bool:
+    name = attr.lstrip("_")
+    return name in _COUNTER_NAMES or name.endswith(_COUNTER_SUFFIXES)
+
+
+@register
+class PrivateCounterRule(Rule):
+    rule_id = "QLNT113"
+    title = "private mutable counter shadows the metrics registry"
+    severity = Severity.ERROR
+    node_types = (ast.AugAssign,)
+
+    def applies_to(self, relpath: str) -> bool:
+        # The instrumented control-plane layers; experiments and the
+        # telemetry package itself keep their local accumulators.
+        normalized = relpath.replace("\\", "/")
+        return any(part in normalized for part in (
+            "repro/core/", "repro/monitoring/", "repro/network/",
+            "repro/xmlmsg/", "repro/registry/"))
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.AugAssign)
+        target = node.target
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        if _is_counter_name(target.attr):
+            ctx.report(self, node,
+                       f"'self.{target.attr} += ...' is a private "
+                       f"counting mechanism; increment a MetricsRegistry "
+                       f"counter (metrics.counter(...).inc()) and expose "
+                       f"a read-only property over it instead")

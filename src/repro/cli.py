@@ -39,6 +39,11 @@ from .workloads.generators import (
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
+    if getattr(args, "telemetry", False):
+        from .experiments.telemetry_demo import run_telemetry_quickstart
+        print(run_telemetry_quickstart(
+            chaos_seed=getattr(args, "chaos", None)))
+        return 0
     if getattr(args, "chaos", None) is not None:
         from .experiments.chaos_demo import run_chaos_quickstart
         print(run_chaos_quickstart(args.chaos))
@@ -186,6 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", type=int, default=None, metavar="SEED",
         help="run the session over a lossy control plane with "
              "seeded fault injection")
+    quickstart.add_argument(
+        "--telemetry", action="store_true",
+        help="run with the telemetry hub installed and print the "
+             "span-tree / metrics / event-stream activity report")
+
+    telemetry = subparsers.add_parser(
+        "telemetry", help="quickstart with spans, metrics, and the "
+                          "event stream rendered (Figure 6 style)")
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="overlay seeded fault injection on the control plane")
+
     subparsers.add_parser(
         "example56", help="replay the Section 5.6 worked example")
     subparsers.add_parser(
@@ -205,8 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .experiments.telemetry_demo import run_telemetry_quickstart
+    print(run_telemetry_quickstart(seed=args.seed,
+                                   chaos_seed=args.chaos))
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
+    "telemetry": _cmd_telemetry,
     "example56": _cmd_example56,
     "diagram": _cmd_diagram,
     "sweep": _cmd_sweep,

@@ -23,8 +23,9 @@ One broker instance orchestrates, per Figure 2:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, ContextManager, Dict, List, Optional
 
 from ..errors import (
     AdmissionError,
@@ -48,6 +49,7 @@ from ..registry.uddie import ServiceRecord, UddieRegistry
 from ..resources.compute import ComputeResourceManager, Job, JobState
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsRegistry, Telemetry
 from ..sla.document import ServiceSLA, SlaStatus
 from ..sla.lifecycle import Phase, QoSFunction, QoSSession
 from ..sla.negotiation import Negotiation, Offer, ServiceRequest
@@ -74,7 +76,6 @@ class BrokerStats:
 
     requests: int = 0
     accepted: int = 0
-    degraded_discoveries: int = 0
     rejected_discovery: int = 0
     rejected_capacity: int = 0
     rejected_negotiation: int = 0
@@ -223,10 +224,17 @@ class AQoSBroker:
                            else SLARepository())
         self.ledger = ledger if ledger is not None else AccountingLedger()
         self.allocation = AllocationManager()
+        #: The broker-wide metrics registry — the single counting
+        #: mechanism for cross-cutting operational stats (QLNT113).
+        self.metrics = MetricsRegistry(now=lambda: sim.now)
+        #: Optional telemetry hub; :meth:`install_telemetry` wires it
+        #: through every subsystem. ``None`` keeps all hooks disabled.
+        self.telemetry: Optional[Telemetry] = None
         self.engine = AdaptationEngine(partition, trace=trace,
                                        now=lambda: sim.now)
         self.verifier = SlaVerifier(sim, self.mds, self.repository,
-                                    self.hub, trace=trace)
+                                    self.hub, trace=trace,
+                                    metrics=self.metrics)
         self.reservation_system = ReservationSystem(
             sim, compute_rm, nrm=nrm, coordinator=coordinator, trace=trace)
         self.scenarios = ScenarioEngine(self)
@@ -254,6 +262,45 @@ class AQoSBroker:
             self._schedule_optimizer(optimizer_interval)
 
     # ==================================================================
+    # Telemetry
+    # ==================================================================
+
+    def install_telemetry(self, telemetry: Telemetry) -> None:
+        """Wire a telemetry hub through the broker and its subsystems.
+
+        The hub's registry becomes the broker-wide registry (existing
+        counts are abandoned only when the hub brings its *own*
+        registry — pass ``metrics=broker.metrics`` when building the
+        hub to adopt the live one), spans turn on across the
+        reservation path, and the capacity partition starts feeding
+        the Cg/Ca/Cb gauges on every rebalance.
+        """
+        self.telemetry = telemetry
+        if telemetry.metrics is not self.metrics:
+            self.metrics = telemetry.metrics
+            self.verifier.metrics = telemetry.metrics
+        if hasattr(self.discovery, "metrics"):
+            self.discovery.metrics = self.metrics
+        self.verifier.telemetry = telemetry
+        self.reservation_system.telemetry = telemetry
+        self.compute_rm.gara.telemetry = telemetry
+        if self.nrm is not None:
+            self.nrm.telemetry = telemetry
+        if self.coordinator is not None:
+            for domain_nrm in self.coordinator._nrms.values():  # noqa: SLF001
+                domain_nrm.telemetry = telemetry
+        self.partition.observer = telemetry.capacity.on_rebalance
+        telemetry.capacity.prime(self.partition)
+
+    def _span(self, name: str, **attributes: object
+              ) -> "ContextManager[object]":
+        """A broker-component span, or a no-op when telemetry is off."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.tracer.span(name, component="aqos-broker",
+                                          **attributes)
+
+    # ==================================================================
     # Establishment phase (Figure 2, steps 1-2)
     # ==================================================================
 
@@ -270,7 +317,7 @@ class AQoSBroker:
         result = self.discovery.find(query)
         matches = result.records
         if result.degraded:
-            self.stats.degraded_discoveries += 1
+            self.metrics.counter("repro_discovery_degraded_total").inc()
             self.record(f"degraded discovery for {request.client!r}: "
                         f"serving {len(matches)} stale record(s) "
                         f"(age {result.age:g})")
@@ -350,6 +397,12 @@ class AQoSBroker:
         Returns the negotiation (possibly already FAILED) and a reason
         string for failures.
         """
+        with self._span("negotiate", client=request.client,
+                        service=request.service_name):
+            return self._negotiate(request)
+
+    def _negotiate(self, request: ServiceRequest
+                   ) -> "tuple[Negotiation, str]":
         self.stats.requests += 1
         negotiation = Negotiation(request)
         if request.service_class.has_sla:
@@ -392,6 +445,10 @@ class AQoSBroker:
 
     def establish(self, negotiation: Negotiation) -> ServiceOutcome:
         """Turn an accepted negotiation into a live session."""
+        with self._span("establish", client=negotiation.request.client):
+            return self._establish(negotiation)
+
+    def _establish(self, negotiation: Negotiation) -> ServiceOutcome:
         request = negotiation.request
         sla = negotiation.build_sla(self.repository.next_id())
         session = QoSSession(session_id=sla.sla_id)
@@ -451,6 +508,10 @@ class AQoSBroker:
         un-admittable session is terminated with a violation (the
         provider broke the agreed window).
         """
+        with self._span("activate-session", sla_id=sla_id):
+            self._activate_session_impl(sla_id)
+
+    def _activate_session_impl(self, sla_id: int) -> None:
         sla = self.repository.get(sla_id)
         if sla.status is not SlaStatus.ESTABLISHED:
             return
@@ -497,6 +558,8 @@ class AQoSBroker:
             self.verifier.attach_sensor(sla_id, network_sensor)
             resources.sensor_names.append(network_sensor.name)
         self.ledger.session_started(sla_id, self.sim.now, sla.price_rate)
+        self.metrics.gauge("repro_sla_active_sessions").set(
+            float(len(self.repository.active())))
 
     def add_peer(self, peer: "AQoSBroker") -> None:
         """Register a neighboring AQoS broker (Figure 1 shows the
@@ -712,6 +775,10 @@ class AQoSBroker:
         budget; winning points are applied (network legs fall back
         gracefully if a link refuses the resize).
         """
+        with self._span("optimizer-pass"):
+            return self._run_optimizer()
+
+    def _run_optimizer(self) -> Optional[OptimizationResult]:
         adjustable = [sla for sla in self.repository.active()
                       if sla.service_class.adjustable]
         if not adjustable:
@@ -900,10 +967,12 @@ class AQoSBroker:
     def _on_degradation_notice(self, notice: DegradationNotice) -> None:
         if notice.sla_id in self._closing:
             return
-        if self.allocation.has(notice.sla_id):
-            self.allocation.get(notice.sla_id).session.perform(
-                QoSFunction.ADAPTATION, self.sim.now)
-        self.scenarios.on_degradation(notice)
+        with self._span("handle-degradation", sla_id=notice.sla_id,
+                        source=notice.source):
+            if self.allocation.has(notice.sla_id):
+                self.allocation.get(notice.sla_id).session.perform(
+                    QoSFunction.ADAPTATION, self.sim.now)
+            self.scenarios.on_degradation(notice)
 
     def penalize(self, sla: ServiceSLA, notice: DegradationNotice, *,
                  duration: float = 1.0) -> None:
@@ -924,16 +993,17 @@ class AQoSBroker:
                                 reason=notice.detail or "degradation")
 
     def _on_capacity_change(self, delta_nodes: int) -> None:
-        report = self.engine.on_capacity_change(float(delta_nodes))
-        if delta_nodes < 0 and not report.guarantees_honored:
-            for user, shortfall in report.shortfalls.items():
-                if not user.startswith("sla-"):
-                    continue
-                sla_id = int(user.split("-", 1)[1])
-                self.hub.publish(DegradationNotice(
-                    sla_id=sla_id, time=self.sim.now, source="compute",
-                    detail=f"capacity failure left a shortfall of "
-                           f"{shortfall:g} node(s)"))
+        with self._span("capacity-change", delta_nodes=delta_nodes):
+            report = self.engine.on_capacity_change(float(delta_nodes))
+            if delta_nodes < 0 and not report.guarantees_honored:
+                for user, shortfall in report.shortfalls.items():
+                    if not user.startswith("sla-"):
+                        continue
+                    sla_id = int(user.split("-", 1)[1])
+                    self.hub.publish(DegradationNotice(
+                        sla_id=sla_id, time=self.sim.now, source="compute",
+                        detail=f"capacity failure left a shortfall of "
+                               f"{shortfall:g} node(s)"))
 
     # ------------------------------------------------------------------
     # Clearing phase
@@ -975,6 +1045,11 @@ class AQoSBroker:
                        note: str = "") -> None:
         if sla_id in self._closing:
             return
+        with self._span("close-session", sla_id=sla_id, cause=cause):
+            self._close_session_impl(sla_id, cause=cause, note=note)
+
+    def _close_session_impl(self, sla_id: int, *, cause: str,
+                            note: str = "") -> None:
         self._closing.add(sla_id)
         try:
             sla = self.repository.get(sla_id)
@@ -1005,6 +1080,8 @@ class AQoSBroker:
                 else:
                     sla.terminate()
             self.ledger.session_ended(sla_id, self.sim.now)
+            self.metrics.gauge("repro_sla_active_sessions").set(
+                float(len(self.repository.active())))
             suffix = f" ({note})" if note else ""
             self.record(f"SLA {sla_id} closed: {cause}{suffix}")
         finally:

@@ -40,7 +40,7 @@ Priority tiers inside ``rebalance``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError
 from ..units import iszero
@@ -178,6 +178,12 @@ class CapacityPartition:
         self._best_effort: Dict[str, BestEffortHolding] = {}
         self._arrivals = 0
         self.last_report: Optional[RebalanceReport] = None
+        #: Optional callback ``(partition, report)`` invoked after
+        #: every rebalance — the telemetry capacity gauges hook in
+        #: here. Must be set before ``rebalance`` runs, hence above
+        #: the constructor's initial call.
+        self.observer: Optional[Callable[
+            ["CapacityPartition", RebalanceReport], None]] = None
         self.rebalance()
 
     # ------------------------------------------------------------------
@@ -407,6 +413,8 @@ class CapacityPartition:
         self.last_report = RebalanceReport(
             shortfalls=shortfalls, preempted=preempted,
             adapt_transfer=adapt_transfer, pools=pools)
+        if self.observer is not None:
+            self.observer(self, self.last_report)
         return self.last_report
 
     # ------------------------------------------------------------------

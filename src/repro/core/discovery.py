@@ -32,6 +32,7 @@ from ..qos.specification import QoSSpecification
 from ..registry.query import PropertyConstraint, PropertyValue, ServiceQuery
 from ..registry.uddie import ServiceRecord, UddieRegistry
 from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsRegistry
 from ..xmlmsg.bus import MessageBus
 from ..xmlmsg.codec import _decode_specification, _encode_specification
 from ..xmlmsg.document import child_text, element, pretty_xml, subelement
@@ -207,22 +208,32 @@ class ResilientDiscovery:
         registry_name: The registry's endpoint name.
         trace: Optional recorder; degraded lookups are logged under
             the ``"discovery"`` category.
+        metrics: Registry for the stale-hit counter; a private one is
+            created when omitted (the broker swaps in its own when it
+            adopts this transport).
     """
 
     def __init__(self, bus: MessageBus, *,
                  caller: Optional[ResilientCaller] = None,
                  client_name: str = "aqos-discovery",
                  registry_name: str = REGISTRY_ENDPOINT,
-                 trace: Optional[TraceRecorder] = None) -> None:
+                 trace: Optional[TraceRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._bus = bus
         self.caller = caller if caller is not None \
             else ResilientCaller(bus, name=client_name)
         self.client_name = client_name
         self.registry_name = registry_name
         self._trace = trace
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Last good answer per canonical query text: (time, records).
         self._cache: "Dict[str, Tuple[float, List[ServiceRecord]]]" = {}
-        self.stale_hits = 0
+
+    @property
+    def stale_hits(self) -> int:
+        """Lookups served from the stale cache (registry-backed)."""
+        return int(self.metrics.counter_value(
+            "repro_discovery_stale_hits_total"))
 
     def find(self, query: ServiceQuery) -> DiscoveryResult:
         """Look up matches over the bus.
@@ -246,7 +257,8 @@ class ResilientDiscovery:
                     f"{error}") from error
             cached_at, records = cached
             age = self._bus.sim.now - cached_at
-            self.stale_hits += 1
+            self.metrics.counter(
+                "repro_discovery_stale_hits_total").inc()
             if self._trace is not None:
                 self._trace.record(
                     self._bus.sim.now, "discovery",

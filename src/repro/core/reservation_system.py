@@ -14,8 +14,9 @@ The RS implements the paper's temporary-reservation protocol:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import ContextManager, Optional, Union
 
 from ..errors import CapacityError, NetworkError, ReservationError
 from ..gara.reservation import ReservationHandle
@@ -26,7 +27,9 @@ from ..resources.compute import ComputeResourceManager
 from ..rsl.builder import reservation_rsl
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
+from ..telemetry import Telemetry
 from ..sla.document import NetworkDemand, ServiceSLA
+
 
 NetworkBooking = Union[FlowAllocation, EndToEndAllocation]
 
@@ -63,6 +66,15 @@ class ReservationSystem:
         self._nrm = nrm
         self._coordinator = coordinator
         self._trace = trace
+        #: Optional telemetry hub (spans around the RS protocol).
+        self.telemetry: Optional[Telemetry] = None
+
+    def _span(self, name: str, sla_id: int) -> "ContextManager[object]":
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.tracer.span(name,
+                                          component="reservation-system",
+                                          sla_id=sla_id)
 
     # ------------------------------------------------------------------
     # Site resolution
@@ -118,6 +130,12 @@ class ReservationSystem:
             CapacityError: When any leg cannot be booked (previous
                 legs are rolled back).
         """
+        with self._span("reserve", sla.sla_id):
+            return self._reserve(sla, demand=demand)
+
+    def _reserve(self, sla: ServiceSLA, *,
+                 demand: Optional[ResourceVector] = None
+                 ) -> CompositeReservation:
         if demand is None:
             demand = sla.agreed_demand()
         compute_demand = ResourceVector(cpu=demand.cpu,
@@ -156,28 +174,31 @@ class ReservationSystem:
         no-op rather than an error, so at-least-once delivery can
         never double-commit.
         """
-        if composite.cancelled:
-            raise ReservationError(
-                f"reservation for SLA {composite.sla_id} was cancelled")
-        if composite.confirmed:
-            return
-        if composite.compute_handle is not None:
-            self._compute.gara.reservation_commit(composite.compute_handle)
-        composite.confirmed = True
+        with self._span("confirm", composite.sla_id):
+            if composite.cancelled:
+                raise ReservationError(
+                    f"reservation for SLA {composite.sla_id} was cancelled")
+            if composite.confirmed:
+                return
+            if composite.compute_handle is not None:
+                self._compute.gara.reservation_commit(
+                    composite.compute_handle)
+            composite.confirmed = True
 
     def cancel(self, composite: CompositeReservation) -> None:
         """Tear down every leg of the composite reservation."""
         if composite.cancelled:
             return
-        composite.cancelled = True
-        if composite.compute_handle is not None:
-            reservation = self._compute.gara.reservation_status(
-                composite.compute_handle)
-            if reservation.state.is_live:
-                self._compute.gara.reservation_cancel(
+        with self._span("cancel", composite.sla_id):
+            composite.cancelled = True
+            if composite.compute_handle is not None:
+                reservation = self._compute.gara.reservation_status(
                     composite.compute_handle)
-        if composite.network_booking is not None:
-            self._release_network(composite.network_booking)
+                if reservation.state.is_live:
+                    self._compute.gara.reservation_cancel(
+                        composite.compute_handle)
+            if composite.network_booking is not None:
+                self._release_network(composite.network_booking)
 
     def modify_compute(self, composite: CompositeReservation,
                        demand: ResourceVector, *, force: bool = False) -> None:
@@ -185,11 +206,12 @@ class ReservationSystem:
         if composite.compute_handle is None:
             raise ReservationError(
                 f"SLA {composite.sla_id} has no compute reservation")
-        self._compute.gara.reservation_modify(
-            composite.compute_handle,
-            ResourceVector(cpu=demand.cpu, memory_mb=demand.memory_mb,
-                           disk_mb=demand.disk_mb),
-            force=force)
+        with self._span("modify", composite.sla_id):
+            self._compute.gara.reservation_modify(
+                composite.compute_handle,
+                ResourceVector(cpu=demand.cpu, memory_mb=demand.memory_mb,
+                               disk_mb=demand.disk_mb),
+                force=force)
 
     def _record(self, sla: ServiceSLA, message: str) -> None:
         if self._trace is not None:

@@ -29,6 +29,7 @@ from ..resources.machine import Machine
 from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from ..sim.trace import TraceRecorder
+from ..telemetry import Telemetry
 from ..monitoring.relay import BusNotificationRelay
 from ..sla.repository import SLARepository
 from ..xmlmsg.bus import MessageBus
@@ -66,6 +67,7 @@ class Testbed:
     registry_endpoint: Optional[RegistryEndpoint] = None
     relay: Optional[BusNotificationRelay] = None
     faults: Optional[FaultPlan] = None
+    telemetry: Optional[Telemetry] = None
 
     @property
     def repository(self) -> SLARepository:
@@ -168,9 +170,34 @@ def attach_control_plane(testbed: Testbed, *,
         bus,
         caller=ResilientCaller(bus, rng=testbed.rng.stream("discovery"),
                                trace=testbed.trace, name="aqos-discovery"),
-        trace=testbed.trace)
+        trace=testbed.trace, metrics=testbed.broker.metrics)
     testbed.relay = BusNotificationRelay(testbed.broker.hub, bus)
+    if testbed.telemetry is not None:
+        bus.telemetry = testbed.telemetry
     return testbed
+
+
+def install_telemetry(testbed: Testbed) -> Telemetry:
+    """Turn on deterministic telemetry across the whole testbed.
+
+    The hub *adopts* the testbed's existing infrastructure — the
+    broker's metrics registry and the trace recorder's event stream —
+    so there is exactly one counting mechanism and one event log.
+    Idempotent: a second call returns the installed hub. Order is
+    free: telemetry installed before :func:`attach_control_plane`
+    is picked up by the bus when it is created, and vice versa.
+    """
+    if testbed.telemetry is not None:
+        return testbed.telemetry
+    sim = testbed.sim
+    telemetry = Telemetry(now=lambda: sim.now,
+                          metrics=testbed.broker.metrics,
+                          stream=testbed.trace.stream)
+    testbed.telemetry = telemetry
+    testbed.broker.install_telemetry(telemetry)
+    if testbed.bus is not None:
+        testbed.bus.telemetry = telemetry
+    return telemetry
 
 
 def install_chaos(testbed: Testbed, seed: int, *,

@@ -1,17 +1,23 @@
 """Experiment harness: metrics, policy runner, the Section 5.6 replay.
 
-* :mod:`repro.experiments.metrics` — time-weighted accumulators.
+* :mod:`repro.experiments.metrics` — time-weighted accumulators
+  (re-exported from :mod:`repro.telemetry.timeweighted`).
 * :mod:`repro.experiments.harness` — drive a workload through an
   allocation policy (fast path) or a full broker testbed.
 * :mod:`repro.experiments.example56` — the paper's worked example.
 * :mod:`repro.experiments.reporting` — plain-text result tables.
+* :mod:`repro.experiments.chaos_demo` /
+  :mod:`repro.experiments.telemetry_demo` — the quickstart session
+  under fault injection / with the telemetry hub installed.
 """
 
+from .chaos_demo import run_chaos_quickstart
 from .example56 import Example56Result, TimelineRow, run_example56
 from .harness import PolicyRunResult, run_broker_workload, run_policy_workload
 from .metrics import TimeWeightedMetrics
 from .reporting import format_table
 from .sequence import figure2_diagram
+from .telemetry_demo import run_telemetry_quickstart
 
 __all__ = [
     "Example56Result",
@@ -21,6 +27,8 @@ __all__ = [
     "figure2_diagram",
     "format_table",
     "run_broker_workload",
+    "run_chaos_quickstart",
     "run_example56",
     "run_policy_workload",
+    "run_telemetry_quickstart",
 ]

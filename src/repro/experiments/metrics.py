@@ -1,67 +1,14 @@
-"""Time-weighted metric accumulation.
+"""Time-weighted metric accumulation (compatibility shim).
 
-The synthetic experiments integrate piecewise-constant signals
-(utilization, violation indicator, best-effort throughput) between
-event points. :class:`TimeWeightedMetrics` does the bookkeeping: feed
-it the signal values at every event time and it maintains exact
-integrals over the observation window.
+:class:`TimeWeightedMetrics` moved to
+:mod:`repro.telemetry.timeweighted` so the telemetry registry's
+time-weighted gauges and the synthetic experiments share one exact
+integrator. This module re-exports it for existing imports; new code
+should import from :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-from ..errors import ValidationError
+from ..telemetry.timeweighted import TimeWeightedMetrics
 
-
-class TimeWeightedMetrics:
-    """Exact integrals of piecewise-constant signals.
-
-    Usage::
-
-        metrics = TimeWeightedMetrics(start=0.0)
-        metrics.observe(t1, utilization=0.5, violation=0.0)
-        metrics.observe(t2, utilization=0.8, violation=1.0)
-        metrics.finalize(horizon)
-        metrics.mean("utilization")
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._start = start
-        self._last_time = start
-        self._last_values: Dict[str, float] = {}
-        self._integrals: Dict[str, float] = {}
-        self._finalized = False
-
-    def observe(self, time: float, **signals: float) -> None:
-        """Record the signal values holding from ``time`` onwards."""
-        if time < self._last_time:
-            raise ValidationError(
-                f"observation at {time} precedes last at {self._last_time}")
-        span = time - self._last_time
-        for name, value in self._last_values.items():
-            self._integrals[name] = self._integrals.get(name, 0.0) \
-                + value * span
-        self._last_time = time
-        self._last_values.update(signals)
-        for name in signals:
-            self._integrals.setdefault(name, 0.0)
-
-    def finalize(self, end: float) -> None:
-        """Close the window at ``end`` (integrating the last values)."""
-        self.observe(end)
-        self._finalized = True
-
-    @property
-    def elapsed(self) -> float:
-        """Window length so far."""
-        return self._last_time - self._start
-
-    def integral(self, name: str) -> float:
-        """The signal's integral over the window."""
-        return self._integrals.get(name, 0.0)
-
-    def mean(self, name: str) -> float:
-        """Time-average of the signal (0 for an empty window)."""
-        if self.elapsed <= 0:
-            return 0.0
-        return self.integral(name) / self.elapsed
+__all__ = ["TimeWeightedMetrics"]

@@ -1,0 +1,120 @@
+"""The quickstart session with full telemetry enabled.
+
+``python -m repro quickstart --telemetry`` (or ``repro telemetry``)
+replays the quickstart walkthrough — one guaranteed session with a
+network demand, a mid-run node failure at t=30 and a repair at t=60 —
+with the control plane on the message bus and the telemetry hub
+installed, then renders the Figure-6-style activity report:
+
+* the **span trees**, one connected tree per control-plane episode
+  (admission spans broker → GARA → NRM; the §5.6 adaptation episode
+  spans capacity-change → rebalance → degradation handling →
+  reservation modify);
+* the **metrics snapshot** in Prometheus text format, including the
+  time-weighted Cg/Ca/Cb occupancy gauges fed by every rebalance;
+* the raw **JSONL event stream** interleaving component trace rows
+  with finished spans.
+
+Everything runs on the simulation clock from fixed seeds, so two runs
+print byte-identical reports; add ``--chaos SEED`` to overlay fault
+injection and watch retries appear as sibling spans under one call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.testbed import (attach_control_plane, build_testbed,
+                            install_chaos, install_telemetry)
+from ..errors import CircuitOpenError
+from ..qos.classes import ServiceClass
+from ..qos.parameters import Dimension, range_parameter
+from ..qos.specification import QoSSpecification
+from ..sla.document import AdaptationOptions
+from ..sla.negotiation import ServiceRequest
+from .chaos_demo import quickstart_request
+
+
+def degradable_request(client: str = "user2") -> ServiceRequest:
+    """A controlled-load companion session that adaptation may squeeze.
+
+    The CPU range (2..8) plus ``accept_degradation`` is exactly what
+    Scenario 1/3 look for when a failure leaves the guaranteed session
+    short: this session gets resized to its floor so the guarantee is
+    restored instead of terminated.
+    """
+    specification = QoSSpecification.of(
+        range_parameter(Dimension.CPU, 2, 8),
+        range_parameter(Dimension.MEMORY_MB, 32, 128),
+    )
+    return ServiceRequest(
+        client=client,
+        service_name="simulation-service",
+        service_class=ServiceClass.CONTROLLED_LOAD,
+        specification=specification,
+        start=0.0, end=100.0,
+        adaptation=AdaptationOptions(accept_degradation=True),
+    )
+
+
+def run_telemetry_quickstart(*, seed: int = 0,
+                             chaos_seed: Optional[int] = None) -> str:
+    """Run the quickstart with telemetry on; returns the report."""
+    testbed = build_testbed(seed=seed)
+    if chaos_seed is not None:
+        install_chaos(testbed, chaos_seed)
+    else:
+        attach_control_plane(testbed)
+    telemetry = install_telemetry(testbed)
+    assert testbed.bus is not None and testbed.gateway is not None
+    broker = testbed.broker
+
+    lines: List[str] = []
+    lines.append("=" * 70)
+    chaos_note = (f" under chaos seed {chaos_seed}"
+                  if chaos_seed is not None else "")
+    lines.append(f"Quickstart with telemetry (seed {seed}{chaos_note})")
+    lines.append("=" * 70)
+
+    broker.verifier.start_polling(5.0)
+    # A §5.6-sized outage: 16 of 26 grid nodes fail at t=30, so the two
+    # sessions' 12 delivered CPUs no longer fit in the 10 that remain
+    # and the broker must adapt; the repair at t=60 restores them.
+    testbed.sim.schedule_at(30.0, lambda: testbed.machine.fail_nodes(16),
+                            label="inject:node-failure")
+    testbed.sim.schedule_at(60.0, lambda: testbed.machine.repair_nodes(),
+                            label="inject:node-repair")
+
+    sla_ids: List[int] = []
+    for request in (quickstart_request(), degradable_request()):
+        session_client = testbed.client(request.client)
+        try:
+            negotiation_id, offers, reason = session_client.request_service(
+                request)
+            if negotiation_id is None:
+                lines.append(f"service request refused: {reason}")
+                continue
+            sla, establish_reason = session_client.accept_offer(
+                negotiation_id)
+            if sla is None:
+                lines.append(f"establishment failed: {establish_reason}")
+                continue
+            sla_ids.append(sla.sla_id)
+            lines.append(f"SLA {sla.sla_id} established for "
+                         f"{sla.client!r} ({sla.service_class.value})")
+        except CircuitOpenError as circuit_error:
+            lines.append(f"session abandoned: {circuit_error}")
+
+    testbed.sim.run(until=120.0)
+    testbed.gateway.sweep_stale(0.0)
+
+    for sla_id in sla_ids:
+        final = broker.repository.get(sla_id)
+        lines.append(f"final SLA {sla_id} status: {final.status.value}")
+    lines.append(f"violations detected: "
+                 f"{broker.metrics.counter_value('repro_sla_violations_detected_total'):g}"
+                 f", restorations: "
+                 f"{broker.metrics.counter_value('repro_sla_restorations_total'):g}")
+    lines.append("")
+    lines.append(telemetry.report(title="quickstart"))
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from ..qos.vector import ResourceVector
 from ..rsl.builder import vector_from_rsl
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
+from ..telemetry import Telemetry
 from .reservation import Reservation, ReservationHandle, ReservationState
 from .slot_table import SlotTable
 
@@ -55,6 +56,20 @@ class GaraApi:
         self.confirm_timeout = confirm_timeout
         self._trace = trace
         self._reservations: Dict[int, Reservation] = {}
+        #: Optional telemetry hub; ``None`` keeps the reservation hot
+        #: path exactly as fast as before (a single attribute check).
+        self.telemetry: Optional[Telemetry] = None
+
+    def _observe(self, op: str) -> None:
+        """Count one GARA operation and refresh the occupancy gauge."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.metrics.counter("repro_gara_operations_total",
+                                  gatekeeper=self.name, op=op).inc()
+        telemetry.metrics.gauge(
+            "repro_gara_cpu_reserved", gatekeeper=self.name).set(
+            self._table.usage_at(self._sim.now).cpu)
 
     # ------------------------------------------------------------------
     # Table 2 primitives
@@ -87,6 +102,7 @@ class GaraApi:
                 deadline, lambda: self._confirm_timeout(handle),
                 label=f"{self.name}:confirm-timeout:{handle}")
         self._schedule_expiry(reservation)
+        self._observe("create")
         self._record(f"reservation_create {handle} demand={demand} "
                      f"window=[{start:g}, {end:g})")
         return handle
@@ -95,18 +111,21 @@ class GaraApi:
         """Confirm a temporary reservation (the broker approved the SLA)."""
         reservation = self._get(handle)
         reservation.commit()
+        self._observe("commit")
         self._record(f"reservation_commit {handle}")
 
     def reservation_bind(self, handle: ReservationHandle, pid: int) -> None:
         """Claim a committed reservation with the launched process ID."""
         reservation = self._get(handle)
         reservation.bind(pid)
+        self._observe("bind")
         self._record(f"reservation_bind {handle} pid={pid}")
 
     def reservation_unbind(self, handle: ReservationHandle) -> None:
         """Detach the bound process from its reservation."""
         reservation = self._get(handle)
         reservation.unbind()
+        self._observe("unbind")
         self._record(f"reservation_unbind {handle}")
 
     def reservation_cancel(self, handle: ReservationHandle) -> None:
@@ -114,6 +133,7 @@ class GaraApi:
         reservation = self._get(handle)
         reservation.cancel()
         self._table.release(reservation.entry)
+        self._observe("cancel")
         self._record(f"reservation_cancel {handle}")
 
     def reservation_modify(self, handle: ReservationHandle,
@@ -131,6 +151,7 @@ class GaraApi:
                 f"cannot modify {handle}: state={reservation.state.value}")
         reservation.entry = self._table.resize(reservation.entry, demand,
                                                force=force)
+        self._observe("modify")
         self._record(f"reservation_modify {handle} demand={demand}")
 
     # ------------------------------------------------------------------
@@ -166,6 +187,7 @@ class GaraApi:
             return
         reservation.cancel()
         self._table.release(reservation.entry)
+        self._observe("confirm_timeout")
         self._record(f"confirmation timeout — cancelled {handle}")
 
     def _schedule_expiry(self, reservation: Reservation) -> None:
@@ -180,6 +202,7 @@ class GaraApi:
                 return
             live.expire()
             self._table.release(live.entry)
+            self._observe("expire")
             self._record(f"reservation expired {handle}")
 
         self._sim.schedule_at(end, expire,

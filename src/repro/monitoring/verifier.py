@@ -28,6 +28,7 @@ from ..network.nrm import FlowAllocation, NetworkMeasurement
 from ..qos.parameters import Dimension
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsRegistry, Telemetry
 from ..sla.repository import SLARepository
 from ..sla.violations import (
     ConformanceReport,
@@ -48,23 +49,40 @@ class SlaVerifier:
         repository: The SLA repository to verify against.
         hub: Where degradation notices are published.
         trace: Optional activity recorder.
+        metrics: Registry for the SLA gauges/counters (violations
+            detected, restorations, tests run); a private one is
+            created when omitted so counting always works.
         tolerance: Relative slack before a shortfall is a violation.
     """
 
     def __init__(self, sim: Simulator, mds: InformationService,
                  repository: SLARepository, hub: NotificationHub, *,
                  trace: Optional[TraceRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None,
                  tolerance: float = 0.05) -> None:
         self._sim = sim
         self._mds = mds
         self._repository = repository
         self._hub = hub
         self._trace = trace
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(now=lambda: sim.now))
+        #: Optional telemetry hub (spans for conformance tests).
+        self.telemetry: Optional[Telemetry] = None
         self.tolerance = tolerance
         #: sensor names attached per SLA id
         self._session_sensors: Dict[int, List[str]] = {}
         self._poll_event = None
-        self.tests_run = 0
+        #: SLA ids currently in a detected-violation state, so the
+        #: detected/restored counters count state *transitions*, not
+        #: every poll of an already-degraded session.
+        self._violating: set = set()
+
+    @property
+    def tests_run(self) -> int:
+        """Total conformance tests executed (registry-backed)."""
+        return int(self.metrics.counter_value(
+            "repro_sla_conformance_tests_total"))
 
     # ------------------------------------------------------------------
     # Session wiring
@@ -80,6 +98,9 @@ class SlaVerifier:
         """Drop a finished session's sensors."""
         for name in self._session_sensors.pop(sla_id, []):
             self._mds.unregister(name)
+        self._violating.discard(sla_id)
+        self.metrics.gauge("repro_sla_violating_sessions").set(
+            float(len(self._violating)))
 
     # ------------------------------------------------------------------
     # Conformance testing
@@ -103,21 +124,43 @@ class SlaVerifier:
 
     def conformance_test(self, sla_id: int) -> ConformanceReport:
         """Run one conformance test (the explicit client request path)."""
+        if self.telemetry is None:
+            return self._conformance_test(sla_id)
+        with self.telemetry.tracer.span("conformance-test",
+                                        component="sla-verif",
+                                        sla_id=sla_id) as span:
+            report = self._conformance_test(sla_id)
+            span.attributes["conformant"] = report.conformant
+            return report
+
+    def _conformance_test(self, sla_id: int) -> ConformanceReport:
         sla = self._repository.get(sla_id)
         measured = self.measure(sla_id)
         report = check_conformance(sla, measured, tolerance=self.tolerance)
-        self.tests_run += 1
+        self.metrics.counter("repro_sla_conformance_tests_total").inc()
         if self._trace is not None:
             verdict = ("conformant" if report.conformant
                        else f"{len(report.violations)} violation(s)")
             self._trace.record(self._sim.now, "sla-verif",
                                f"conformance test SLA {sla_id}: {verdict}")
         if not report.conformant:
+            if sla_id not in self._violating:
+                self._violating.add(sla_id)
+                self.metrics.counter(
+                    "repro_sla_violations_detected_total").inc()
+            self.metrics.counter(
+                "repro_sla_degradation_notices_total",
+                source="sla-verif").inc()
             self._hub.publish(DegradationNotice(
                 sla_id=sla_id, time=self._sim.now, source="sla-verif",
                 report=report,
                 detail=f"conformance test found "
                        f"{len(report.violations)} violation(s)"))
+        elif sla_id in self._violating:
+            self._violating.discard(sla_id)
+            self.metrics.counter("repro_sla_restorations_total").inc()
+        self.metrics.gauge("repro_sla_violating_sessions").set(
+            float(len(self._violating)))
         return report
 
     def conformance_reply_xml(self, sla_id: int) -> ET.Element:
@@ -125,7 +168,7 @@ class SlaVerifier:
         from ..xmlmsg.codec import encode_qos_levels
         sla = self._repository.get(sla_id)
         measured = self.measure(sla_id)
-        self.tests_run += 1
+        self.metrics.counter("repro_sla_conformance_tests_total").inc()
         return encode_qos_levels(sla, measured)
 
     # ------------------------------------------------------------------
@@ -173,6 +216,8 @@ class SlaVerifier:
             sla_id = sla_id_for_flow(flow)
             if sla_id is None:
                 return
+            self.metrics.counter(
+                "repro_sla_degradation_notices_total", source="nrm").inc()
             self._hub.publish(DegradationNotice(
                 sla_id=sla_id, time=self._sim.now, source="nrm",
                 detail=f"flow {flow.flow_id} delivering "

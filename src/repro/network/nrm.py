@@ -21,6 +21,7 @@ from ..qos.vector import ResourceVector
 from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from ..sim.trace import TraceRecorder
+from ..telemetry import Telemetry
 from .topology import Link, Topology
 
 _flow_counter = itertools.count(1)
@@ -101,6 +102,19 @@ class NetworkResourceManager:
         self._tables: Dict[Tuple[str, str], SlotTable] = {}
         self._flows: Dict[int, FlowAllocation] = {}
         self._listeners: List[DegradationListener] = []
+        #: Optional telemetry hub; ``None`` keeps allocation untouched.
+        self.telemetry: Optional[Telemetry] = None
+
+    def _observe(self, op: str) -> None:
+        """Count one flow operation and refresh the live-flow gauge."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.metrics.counter("repro_nrm_operations_total",
+                                  domain=self.domain, op=op).inc()
+        telemetry.metrics.gauge("repro_nrm_active_flows",
+                                domain=self.domain).set(
+            float(len(self._flows)))
 
     # ------------------------------------------------------------------
     # Tables
@@ -231,6 +245,7 @@ class NetworkResourceManager:
         if not math.isinf(end):
             self._sim.schedule_at(end, lambda: self._expire(flow.flow_id),
                                   label=f"nrm:{self.domain}:flow-expiry")
+        self._observe("allocate")
         self._record(f"allocated flow {flow.flow_id} "
                      f"{source}->{destination} at {bandwidth_mbps:g} Mbps")
         return flow
@@ -243,6 +258,7 @@ class NetworkResourceManager:
         for link, entry in zip(flow.links, flow.entries):
             self._table(link).release(entry)
         self._flows.pop(flow.flow_id, None)
+        self._observe("release")
         self._record(f"released flow {flow.flow_id}")
 
     def resize(self, flow: FlowAllocation, bandwidth_mbps: float) -> None:
@@ -268,6 +284,7 @@ class NetworkResourceManager:
                 raise
         flow.entries = new_entries
         flow.bandwidth_mbps = bandwidth_mbps
+        self._observe("resize")
         self._record(f"resized flow {flow.flow_id} to {bandwidth_mbps:g} Mbps")
 
     def _expire(self, flow_id: int) -> None:
@@ -277,6 +294,7 @@ class NetworkResourceManager:
             for link, entry in zip(flow.links, flow.entries):
                 self._table(link).release(entry)
             self._flows.pop(flow_id, None)
+            self._observe("expire")
             self._record(f"flow {flow_id} expired")
 
     def flows(self) -> List[FlowAllocation]:

@@ -1,0 +1,76 @@
+"""Capacity gauges fed by the partition's rebalance reports.
+
+Every :meth:`~repro.core.capacity.CapacityPartition.rebalance` pass
+produces a :class:`~repro.core.capacity.RebalanceReport`; wired as the
+partition's observer, :class:`CapacityGauges` turns each report into
+the Figure-6 dashboard quantities:
+
+* ``repro_capacity_effective{pool}`` — effective Cg/Ca/Cb after
+  failures (time-weighted, so the exported mean is the exact
+  occupancy-over-time integral);
+* ``repro_capacity_allocated{pool,tier}`` — what each pool supplies to
+  the guaranteed / excess / best-effort tiers (borrowing made visible:
+  a non-zero ``{pool="a",tier="guaranteed"}`` is ``Adapt()`` at work);
+* ``repro_capacity_adapt_transfer`` / ``repro_capacity_utilization`` /
+  ``repro_capacity_failed`` — the Section 5.6 timeline signals;
+* shortfall and preemption counters for the violation bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+#: Partition pool keys in report order (Cg, Ca, Cb).
+POOLS = ("g", "a", "b")
+
+
+class CapacityGauges:
+    """Translates rebalance reports into registry gauges/counters.
+
+    The partition and report are duck-typed (``effective_sizes()``,
+    ``utilization()``, ``failed``; ``pools``, ``shortfalls``,
+    ``preempted``, ``adapt_transfer``) so this module never imports
+    :mod:`repro.core`.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+
+    def on_rebalance(self, partition: object, report: object) -> None:
+        """Record one rebalance outcome (the partition observer hook)."""
+        if report is None:
+            report = partition.last_report
+        if report is None:
+            return
+        metrics = self.metrics
+        effective = partition.effective_sizes()
+        for pool_key, size, usage in zip(POOLS, effective, report.pools):
+            metrics.time_gauge("repro_capacity_effective",
+                               pool=pool_key).set(size)
+            for tier, supplied in (("guaranteed", usage.guaranteed),
+                                   ("excess", usage.excess),
+                                   ("best_effort", usage.best_effort)):
+                metrics.time_gauge("repro_capacity_allocated",
+                                   pool=pool_key, tier=tier).set(supplied)
+            metrics.time_gauge("repro_capacity_idle",
+                               pool=pool_key).set(usage.idle)
+        metrics.time_gauge("repro_capacity_adapt_transfer").set(
+            report.adapt_transfer)
+        metrics.time_gauge("repro_capacity_utilization").set(
+            partition.utilization())
+        metrics.time_gauge("repro_capacity_failed").set(partition.failed)
+        metrics.gauge("repro_capacity_shortfall").set(
+            sum(report.shortfalls.values()))
+        metrics.counter("repro_capacity_rebalances_total").inc()
+        if report.shortfalls:
+            metrics.counter("repro_capacity_shortfall_events_total").inc()
+        if report.preempted:
+            metrics.counter("repro_capacity_preemptions_total").inc(
+                float(len(report.preempted)))
+
+    def prime(self, partition: object,
+              report: Optional[object] = None) -> None:
+        """Record the current partition state (installation helper)."""
+        self.on_rebalance(partition, report)

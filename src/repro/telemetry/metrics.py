@@ -1,0 +1,292 @@
+"""The metrics registry: counters, gauges, histograms, time-weighted
+gauges, keyed by ``(name, labels)``.
+
+Naming follows the Prometheus conventions: ``repro_<subsystem>_<what>``
+with ``_total`` suffixing monotone counters; labels hold the low-
+cardinality dimensions (pool, tier, action, op). The registry is the
+*single* counting mechanism for cross-cutting operational stats —
+components must not keep private ``self.foo += 1`` counters for them
+(enforced by lint rule QLNT113).
+
+Time-weighted gauges wrap
+:class:`~repro.telemetry.timeweighted.TimeWeightedMetrics` so the
+exported means are exact integrals of the piecewise-constant signal on
+the *simulation* clock, not sample averages.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from .timeweighted import TimeWeightedMetrics
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default duration buckets (sim time units), roughly logarithmic.
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+_LabelTuple = Tuple[Tuple[str, str], ...]
+_Key = Tuple[str, _LabelTuple]
+
+
+class Counter:
+    """A monotone counter."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter increments must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta``."""
+        self.value += delta
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative at render time)."""
+
+    def __init__(self, buckets: "Tuple[float, ...]" = DEFAULT_BUCKETS
+                 ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValidationError(
+                f"histogram buckets must be a sorted non-empty "
+                f"sequence: {buckets}")
+        self.buckets = tuple(float(bound) for bound in buckets)
+        #: One count per finite bucket, plus the +Inf overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> "List[Tuple[float, int]]":
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        result = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            result.append((bound, running))
+        result.append((float("inf"), running + self.counts[-1]))
+        return result
+
+
+class TimeWeightedGauge:
+    """A gauge whose mean is an exact time-weighted integral.
+
+    The underlying window opens lazily at the first :meth:`set`, so a
+    gauge created late does not dilute its mean with a zero-filled
+    lead-in (see
+    :meth:`~repro.telemetry.timeweighted.TimeWeightedMetrics.observe`
+    for the shared-window semantics this avoids).
+    """
+
+    def __init__(self, now: Callable[[], float]) -> None:
+        self._now = now
+        self._window: Optional[TimeWeightedMetrics] = None
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the value holding from now onwards."""
+        time = self._now()
+        if self._window is None:
+            self._window = TimeWeightedMetrics(start=time)
+        self._window.observe(time, value=float(value))
+        self.value = float(value)
+
+    def mean(self) -> float:
+        """Time-weighted mean from the first set to now."""
+        if self._window is None:
+            return 0.0
+        self._window.observe(self._now())
+        return self._window.mean("value")
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by ``(name, labels)``.
+
+    Args:
+        now: Clock callable feeding the time-weighted gauges; a
+            registry built without one treats every instant as ``t=0``
+            (plain counters and gauges are unaffected).
+    """
+
+    def __init__(self, now: Optional[Callable[[], float]] = None) -> None:
+        self._now = now if now is not None else (lambda: 0.0)
+        self._kinds: Dict[str, str] = {}
+        self._counters: "Dict[_Key, Counter]" = {}
+        self._gauges: "Dict[_Key, Gauge]" = {}
+        self._histograms: "Dict[_Key, Histogram]" = {}
+        self._time_gauges: "Dict[_Key, TimeWeightedGauge]" = {}
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+
+    def _key(self, name: str, kind: str, labels: "Dict[str, Any]") -> _Key:
+        if not _NAME_RE.match(name):
+            raise ValidationError(f"invalid metric name: {name!r}")
+        declared = self._kinds.setdefault(name, kind)
+        if declared != kind:
+            raise ValidationError(
+                f"metric {name!r} already registered as a {declared}, "
+                f"cannot reuse it as a {kind}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValidationError(f"invalid label name: {label!r}")
+        return name, tuple(sorted(
+            (label, str(value)) for label, value in labels.items()))
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter."""
+        key = self._key(name, "counter", labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a gauge."""
+        key = self._key(name, "gauge", labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: "Tuple[float, ...]" = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        key = self._key(name, "histogram", labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    def time_gauge(self, name: str, **labels: Any) -> TimeWeightedGauge:
+        """Get or create a time-weighted gauge."""
+        key = self._key(name, "timegauge", labels)
+        instrument = self._time_gauges.get(key)
+        if instrument is None:
+            instrument = self._time_gauges[key] = TimeWeightedGauge(
+                self._now)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """A counter's value (0 when never incremented)."""
+        key = self._key(name, "counter", labels)
+        instrument = self._counters.get(key)
+        return instrument.value if instrument is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        """A gauge's value (0 when never set)."""
+        key = self._key(name, "gauge", labels)
+        instrument = self._gauges.get(key)
+        return instrument.value if instrument is not None else 0.0
+
+    def as_dict(self) -> "Dict[str, float]":
+        """Flat snapshot ``"name{a=b}" -> value`` for assertions."""
+        data: Dict[str, float] = {}
+        for (name, labels), counter in self._counters.items():
+            data[_flat(name, labels)] = counter.value
+        for (name, labels), gauge in self._gauges.items():
+            data[_flat(name, labels)] = gauge.value
+        for (name, labels), tw in self._time_gauges.items():
+            data[_flat(name, labels)] = tw.value
+            data[_flat(name + "_timeweighted_mean", labels)] = tw.mean()
+        for (name, labels), histogram in self._histograms.items():
+            data[_flat(name + "_count", labels)] = float(histogram.count)
+            data[_flat(name + "_sum", labels)] = histogram.sum
+        return data
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition snapshot (sorted, deterministic).
+
+        Time-weighted gauges export two series: the current value under
+        their own name and the exact time-weighted mean under
+        ``<name>_timeweighted_mean``.
+        """
+        families: "Dict[str, Tuple[str, List[str]]]" = {}
+
+        def row(family: str, kind: str, name: str, labels: _LabelTuple,
+                value: float,
+                extra: "Tuple[Tuple[str, str], ...]" = ()) -> None:
+            pairs = tuple(sorted(labels + extra))
+            rendered = name
+            if pairs:
+                body = ",".join(f'{label}="{_escape(text)}"'
+                                for label, text in pairs)
+                rendered = f"{name}{{{body}}}"
+            families.setdefault(family, (kind, []))[1].append(
+                f"{rendered} {value:g}")
+
+        for (name, labels), counter in sorted(self._counters.items()):
+            row(name, "counter", name, labels, counter.value)
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            row(name, "gauge", name, labels, gauge.value)
+        for (name, labels), tw in sorted(self._time_gauges.items()):
+            row(name, "gauge", name, labels, tw.value)
+            row(name + "_timeweighted_mean", "gauge",
+                name + "_timeweighted_mean", labels, tw.mean())
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            for bound, cumulative in histogram.cumulative():
+                le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                row(name, "histogram", name + "_bucket", labels,
+                    float(cumulative), (("le", le),))
+            row(name, "histogram", name + "_sum", labels, histogram.sum)
+            row(name, "histogram", name + "_count", labels,
+                float(histogram.count))
+
+        lines: List[str] = []
+        for family in sorted(families):
+            kind, rows = families[family]
+            lines.append(f"# TYPE {family} {kind}")
+            lines.extend(rows)
+        return "\n".join(lines)
+
+
+def _flat(name: str, labels: _LabelTuple) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{label}={value}" for label, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))

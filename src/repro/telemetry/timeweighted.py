@@ -1,0 +1,127 @@
+"""Time-weighted metric accumulation.
+
+The synthetic experiments and the telemetry registry integrate
+piecewise-constant signals (utilization, violation indicator, pool
+occupancy) between event points. :class:`TimeWeightedMetrics` does the
+bookkeeping: feed it the signal values at every event time and it
+maintains exact integrals over the observation window.
+
+Two semantics are deliberate and explicit (they used to be silent):
+
+* **Late-first signals are zero-filled.** A signal first observed at
+  ``t > start`` contributes 0 to its integral over ``[start, t)`` —
+  the window is shared by all signals, so a late arrival is treated as
+  having been 0 until its first observation. :meth:`first_observed`
+  and :meth:`zero_filled` expose the gap so callers can tell a true
+  zero from a late start (and re-base their mean if they want one over
+  the signal's own lifetime).
+* **A window closes exactly once.** :meth:`finalize` integrates the
+  tail and seals the window; a second ``finalize`` or any further
+  ``observe`` raises :class:`~repro.errors.ValidationError` instead of
+  silently extending the window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ValidationError
+
+
+class TimeWeightedMetrics:
+    """Exact integrals of piecewise-constant signals.
+
+    Usage::
+
+        metrics = TimeWeightedMetrics(start=0.0)
+        metrics.observe(t1, utilization=0.5, violation=0.0)
+        metrics.observe(t2, utilization=0.8, violation=1.0)
+        metrics.finalize(horizon)
+        metrics.mean("utilization")
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._start = start
+        self._last_time = start
+        self._last_values: Dict[str, float] = {}
+        self._integrals: Dict[str, float] = {}
+        self._first_seen: Dict[str, float] = {}
+        self._finalized = False
+
+    def observe(self, time: float, **signals: float) -> None:
+        """Record the signal values holding from ``time`` onwards.
+
+        A signal appearing here for the first time after ``start`` is
+        zero-filled over the preceding gap (see the module docstring);
+        the gap is queryable via :meth:`zero_filled`.
+
+        Raises:
+            ValidationError: When ``time`` precedes the last
+                observation, or the window is already finalized.
+        """
+        if self._finalized:
+            raise ValidationError(
+                f"window closed at {self._last_time}; cannot observe "
+                f"at {time}")
+        if time < self._last_time:
+            raise ValidationError(
+                f"observation at {time} precedes last at {self._last_time}")
+        span = time - self._last_time
+        for name, value in self._last_values.items():
+            self._integrals[name] = self._integrals.get(name, 0.0) \
+                + value * span
+        self._last_time = time
+        self._last_values.update(signals)
+        for name in signals:
+            self._integrals.setdefault(name, 0.0)
+            self._first_seen.setdefault(name, time)
+
+    def finalize(self, end: float) -> None:
+        """Close the window at ``end`` (integrating the last values).
+
+        Raises:
+            ValidationError: On a second ``finalize`` — the window
+                boundary is part of every reported mean, so moving it
+                silently would corrupt already-read results.
+        """
+        if self._finalized:
+            raise ValidationError(
+                f"window already finalized at {self._last_time}; "
+                f"cannot re-finalize at {end}")
+        self.observe(end)
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the window has been closed."""
+        return self._finalized
+
+    @property
+    def elapsed(self) -> float:
+        """Window length so far."""
+        return self._last_time - self._start
+
+    def first_observed(self, name: str) -> Optional[float]:
+        """When the signal was first observed (``None`` if never)."""
+        return self._first_seen.get(name)
+
+    def zero_filled(self, name: str) -> float:
+        """Length of the zero-filled lead-in gap ``[start, first)``.
+
+        0 for signals present from the window start (and for signals
+        never observed, whose integral is 0 anyway).
+        """
+        first = self._first_seen.get(name)
+        if first is None:
+            return 0.0
+        return max(0.0, first - self._start)
+
+    def integral(self, name: str) -> float:
+        """The signal's integral over the window."""
+        return self._integrals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Time-average of the signal (0 for an empty window)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.integral(name) / self.elapsed

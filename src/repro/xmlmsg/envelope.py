@@ -44,6 +44,11 @@ class Envelope:
             id. Endpoints deduplicate on :attr:`dedup_key`, so a retry
             is answered from the cached reply of the first delivery.
         sent_at: Simulation time of sending (stamped by the bus).
+        trace_id: Telemetry trace this message belongs to (stamped by
+            the bus when telemetry is installed).
+        span_id: The sender-side span that emitted this message; the
+            receiving side parents its handler span here, so causality
+            survives the process boundary.
     """
 
     sender: str
@@ -54,6 +59,8 @@ class Envelope:
     in_reply_to: Optional[str] = None
     retry_of: Optional[str] = None
     sent_at: Optional[float] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     @property
     def dedup_key(self) -> str:
@@ -69,7 +76,8 @@ class Envelope:
         """Construct a response envelope routed back to the sender."""
         return Envelope(sender=self.recipient, recipient=self.sender,
                         action=action, body=body,
-                        in_reply_to=self.message_id)
+                        in_reply_to=self.message_id,
+                        trace_id=self.trace_id)
 
     def retry(self) -> "Envelope":
         """A fresh retransmission of this request.
@@ -80,7 +88,8 @@ class Envelope:
         """
         return Envelope(sender=self.sender, recipient=self.recipient,
                         action=self.action, body=self.body,
-                        retry_of=self.dedup_key)
+                        retry_of=self.dedup_key,
+                        trace_id=self.trace_id)
 
     def to_xml(self) -> str:
         """Serialize to an ``<Envelope>`` document."""
@@ -96,6 +105,10 @@ class Envelope:
             subelement(header, "RetryOf", self.retry_of)
         if self.sent_at is not None:
             subelement(header, "SentAt", f"{self.sent_at:g}")
+        if self.trace_id is not None:
+            subelement(header, "TraceID", self.trace_id)
+        if self.span_id is not None:
+            subelement(header, "SpanID", self.span_id)
         body = subelement(root, "Body")
         body.append(self.body)
         return pretty_xml(root)
@@ -140,4 +153,6 @@ class Envelope:
             in_reply_to=child_text(header, "InReplyTo", default="") or None,
             retry_of=child_text(header, "RetryOf", default="") or None,
             sent_at=sent_at,
+            trace_id=child_text(header, "TraceID", default="") or None,
+            span_id=child_text(header, "SpanID", default="") or None,
         )

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Generic, Iterator, Optional, Tuple, TypeVar
 
 from ..errors import ValidationError
+from ..telemetry.metrics import MetricsRegistry
 
 V = TypeVar("V")
 
@@ -29,19 +30,52 @@ DEFAULT_CAPACITY = 256
 class DedupCache(Generic[V]):
     """A bounded mapping from idempotency key to cached outcome.
 
+    Hit and eviction counts live in a :class:`MetricsRegistry` — a
+    private one by default, or the control plane's shared registry
+    after :meth:`bind_metrics` — so they show up in the telemetry
+    snapshot instead of as shadow attributes.
+
     Args:
         capacity: Maximum number of remembered keys; the oldest entry
             is evicted first (insertion order, deterministic).
+        metrics: Registry for the counters (private when omitted).
+        **labels: Labels for the counters (e.g. ``endpoint="aqos"``).
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 metrics: Optional[MetricsRegistry] = None,
+                 **labels: str) -> None:
         if capacity < 1:
             raise ValidationError(
                 f"dedup capacity must be at least 1: {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[str, V]" = OrderedDict()
-        self.hits = 0
-        self.evictions = 0
+        self.bind_metrics(metrics if metrics is not None
+                          else MetricsRegistry(), **labels)
+
+    def bind_metrics(self, metrics: MetricsRegistry,
+                     **labels: str) -> None:
+        """Re-point the counters at a shared registry, carrying the
+        counts accrued so far into the new home."""
+        hits, evictions = getattr(self, "_hits", None), \
+            getattr(self, "_evictions", None)
+        self._hits = metrics.counter("repro_dedup_hits_total", **labels)
+        self._evictions = metrics.counter("repro_dedup_evictions_total",
+                                          **labels)
+        if hits is not None and hits.value:
+            self._hits.inc(hits.value)
+        if evictions is not None and evictions.value:
+            self._evictions.inc(evictions.value)
+
+    @property
+    def hits(self) -> int:
+        """Re-deliveries answered from the cache so far."""
+        return int(self._hits.value)
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted to stay within capacity so far."""
+        return int(self._evictions.value)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,7 +86,7 @@ class DedupCache(Generic[V]):
     def seen(self, key: str) -> bool:
         """Whether ``key`` was already executed (counts as a hit)."""
         if key in self._entries:
-            self.hits += 1
+            self._hits.inc()
             return True
         return False
 
@@ -65,7 +99,7 @@ class DedupCache(Generic[V]):
         if key not in self._entries and len(self._entries) >= self.capacity:
             evicted_key = next(iter(self._entries))
             del self._entries[evicted_key]
-            self.evictions += 1
+            self._evictions.inc()
         self._entries[key] = value
         return value
 

@@ -179,6 +179,27 @@ class ResilientCaller:
             GQoSMError: Non-transient errors from the handler or codec
                 propagate unchanged on first occurrence.
         """
+        telemetry = self._bus.telemetry
+        if telemetry is None:
+            return self._call(envelope)
+        attempts_before = self.stats.attempts
+        retries_before = self.stats.retries
+        with telemetry.tracer.span(
+                f"call:{envelope.action}", component=self.name,
+                recipient=envelope.recipient,
+                message_id=envelope.message_id) as span:
+            try:
+                return self._call(envelope)
+            finally:
+                span.attributes["attempts"] = \
+                    self.stats.attempts - attempts_before
+                delta = self.stats.retries - retries_before
+                if delta > 0:
+                    telemetry.metrics.counter(
+                        "repro_rpc_retries_total",
+                        action=envelope.action).inc(float(delta))
+
+    def _call(self, envelope: Envelope) -> Envelope:
         key = (envelope.recipient, envelope.action)
         self.stats.calls += 1
         open_until = self._open_until.get(key)

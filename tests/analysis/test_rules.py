@@ -398,6 +398,63 @@ class TestRawBusRequest:
 
 
 # ----------------------------------------------------------------------
+# QLNT113 — private mutable counters for cross-cutting statistics
+# ----------------------------------------------------------------------
+
+class TestPrivateCounter:
+    @pytest.mark.parametrize("snippet", [
+        ("class Cache:\n"
+         "    def lookup(self):\n"
+         "        self.stale_hits += 1\n"),
+        ("class Verifier:\n"
+         "    def poll(self):\n"
+         "        self.tests_run += 1\n"),
+        ("class Bus:\n"
+         "    def deliver(self):\n"
+         "        self._messages_seen += 1\n"),
+        ("class Registry:\n"
+         "    def add(self):\n"
+         "        self.registrations_total += 2\n"),
+    ])
+    def test_counter_augassign_in_core_flags(self, run, snippet):
+        findings = run(snippet, relpath="src/repro/core/module.py",
+                       rule_id="QLNT113")
+        assert findings and "MetricsRegistry" in findings[0].message
+
+    def test_all_instrumented_layers_are_in_scope(self, run):
+        snippet = ("class C:\n"
+                   "    def f(self):\n"
+                   "        self.hits += 1\n")
+        for layer in ("core", "monitoring", "network", "xmlmsg",
+                      "registry"):
+            assert run(snippet, relpath=f"src/repro/{layer}/module.py",
+                       rule_id="QLNT113")
+
+    def test_stats_dataclass_bundle_is_clean(self, run):
+        # A dedicated stats object is a deliberate local bundle, not a
+        # shadow registry.
+        snippet = ("class Broker:\n"
+                   "    def f(self):\n"
+                   "        self.stats.cache_hits += 1\n")
+        assert run(snippet, relpath="src/repro/core/broker.py",
+                   rule_id="QLNT113") == []
+
+    def test_non_counter_attributes_are_clean(self, run):
+        snippet = ("class Clock:\n"
+                   "    def tick(self):\n"
+                   "        self.elapsed += 1.0\n")
+        assert run(snippet, relpath="src/repro/core/broker.py",
+                   rule_id="QLNT113") == []
+
+    def test_experiments_layer_is_exempt(self, run):
+        snippet = ("class Harness:\n"
+                   "    def f(self):\n"
+                   "        self.hits += 1\n")
+        assert run(snippet, relpath="src/repro/experiments/harness.py",
+                   rule_id="QLNT113") == []
+
+
+# ----------------------------------------------------------------------
 # Catalogue invariants
 # ----------------------------------------------------------------------
 
@@ -408,5 +465,5 @@ def test_rule_catalogue_is_stable():
     assert len(ids) == len(set(ids))
     assert len(ids) >= 8
     assert all(rule.title for rule in rules)
-    expected = {f"QLNT1{n:02d}" for n in range(1, 13)}
+    expected = {f"QLNT1{n:02d}" for n in range(1, 14)}
     assert set(ids) == expected

@@ -53,7 +53,8 @@ class TestDegradedDiscovery:
         # The request still succeeds — on stale registry data, and the
         # degradation is observable everywhere it should be.
         assert second.accepted
-        assert broker.stats.degraded_discoveries == 1
+        assert broker.metrics.counter_value(
+            "repro_discovery_degraded_total") == 1
         assert broker.discovery.stale_hits == 1
         degraded = testbed.trace.filter(category="discovery")
         assert degraded and "degraded" in degraded[0].message

@@ -10,10 +10,21 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("quickstart", "example56", "diagram", "sweep",
-                        "reserve"):
+        for command in ("quickstart", "telemetry", "example56",
+                        "diagram", "sweep", "reserve"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_quickstart_telemetry_flag(self):
+        args = build_parser().parse_args(["quickstart", "--telemetry"])
+        assert args.telemetry is True
+        assert args.chaos is None
+
+    def test_telemetry_options(self):
+        args = build_parser().parse_args(
+            ["telemetry", "--seed", "3", "--chaos", "7"])
+        assert args.seed == 3
+        assert args.chaos == 7
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -55,6 +66,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SLA" in out
         assert "<Service-Specific>" in out
+
+    def test_quickstart_telemetry(self, capsys):
+        assert main(["quickstart", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart: span trees" in out
+        assert "quickstart: metrics snapshot" in out
+        assert "repro_capacity_effective_timeweighted_mean" in out
+        assert "handle-degradation" in out
+
+    def test_telemetry_command_matches_the_flag(self, capsys):
+        assert main(["telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart: span trees" in out
 
     def test_diagram(self, capsys):
         assert main(["diagram"]) == 0

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.workloads",
     "repro.experiments",
+    "repro.telemetry",
 ]
 
 
