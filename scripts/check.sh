@@ -31,3 +31,15 @@ diff "$tel_a" "$tel_b" > /dev/null || {
     echo "telemetry report is not deterministic" >&2; exit 1; }
 rm -f "$tel_a" "$tel_b"
 echo "telemetry smoke OK (deterministic)"
+
+echo "== crash-recovery smoke (byte-determinism) =="
+# Two fixed-seed crash episodes must print byte-identical reports:
+# the crash point, the journal replay and the reconciliation counters
+# are all functions of the seed alone.
+cr_a="$(mktemp)"; cr_b="$(mktemp)"
+python -m repro quickstart --crash 7 > "$cr_a"
+python -m repro quickstart --crash 7 > "$cr_b"
+diff "$cr_a" "$cr_b" > /dev/null || {
+    echo "crash-recovery report is not deterministic" >&2; exit 1; }
+rm -f "$cr_a" "$cr_b"
+echo "crash-recovery smoke OK (deterministic)"

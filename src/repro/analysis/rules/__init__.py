@@ -17,6 +17,7 @@ QLNT110   Unused import
 QLNT111   Debug ``print`` in library code
 QLNT112   Raw ``bus.request()`` outside the transport layer
 QLNT113   Private mutable counter shadowing the metrics registry
+QLNT114   Journaled state mutated outside the journal API
 ========  ==============================================================
 """
 
@@ -28,6 +29,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     exports,
     floats,
     hygiene,
+    journaling,
     messaging,
     quantities,
     states,
@@ -40,6 +42,7 @@ __all__ = [
     "exports",
     "floats",
     "hygiene",
+    "journaling",
     "messaging",
     "quantities",
     "states",

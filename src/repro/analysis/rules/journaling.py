@@ -1,0 +1,77 @@
+"""QLNT114 — journaled state mutated outside the journal API.
+
+Crash recovery replays the write-ahead journal
+(:mod:`repro.recovery.journal`) and trusts that every durable flag it
+folds — a composite's ``confirmed``/``cancelled``, a booking's
+``committed``, the partition's ``_failed`` — was flipped by the one
+method that also appends the matching record.  A stray
+``composite.confirmed = True`` in a helper is invisible to replay: the
+live system and the recovered system silently disagree, which is
+exactly the corruption the journal exists to rule out.
+
+This table names those fields and the methods allowed to assign them.
+Recovery code itself (``repro/recovery/``) is exempt — rebuilding the
+flags from the journal is its job — as are the simulation kernel and
+the baseline policies, which never journal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Journaled fields and the transition methods that may assign them.
+#: ``__init__`` appears where construction legitimately sets the flag.
+JOURNALED_FIELDS: "Dict[str, FrozenSet[str]]" = {
+    # CompositeReservation outcome flags; journaled as ``confirm`` /
+    # ``cancel`` records by ReservationSystem.
+    "confirmed": frozenset({"confirm", "__init__"}),
+    "cancelled": frozenset({"cancel", "__init__"}),
+    # GARA/NRM booking commitment; folded from ``confirm`` records.
+    "committed": frozenset({"commit", "confirm", "__init__"}),
+    # CapacityPartition failure debt; folded from
+    # ``capacity_rebalanced`` records.
+    "_failed": frozenset({"apply_failure", "apply_repair", "__init__"}),
+}
+
+
+@register
+class JournaledStateRule(Rule):
+    rule_id = "QLNT114"
+    title = "journaled state mutated outside the journal API"
+    severity = Severity.ERROR
+    node_types = (ast.Assign, ast.AnnAssign, ast.AugAssign)
+
+    def applies_to(self, relpath: str) -> bool:
+        # Only the journaling control plane is constrained; recovery
+        # replay (repro/recovery/) legitimately rebuilds these flags.
+        normalized = relpath.replace("\\", "/")
+        return ("repro/core/" in normalized
+                or "repro/network/" in normalized
+                or "repro/gara/" in normalized
+                or "repro/sla/" in normalized)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            targets = [node.target]
+        for target in targets:
+            # Attribute targets only: a class-level ``confirmed: bool
+            # = False`` dataclass default is a Name, not a mutation.
+            if not isinstance(target, ast.Attribute):
+                continue
+            allowed = JOURNALED_FIELDS.get(target.attr)
+            if allowed is None:
+                continue
+            method = ctx.current_function()
+            if method in allowed:
+                continue
+            ctx.report(self, node,
+                       f"journaled field .{target.attr} assigned in "
+                       f"{method or '<module>'}(); only "
+                       f"{sorted(allowed)} may flip it — replay folds "
+                       f"this flag from journal records, so an "
+                       f"unjournaled mutation diverges on recovery")

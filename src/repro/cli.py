@@ -9,6 +9,8 @@ Commands:
 * ``sweep`` — run the X1 adaptation-vs-baselines load sweep and print
   the comparison table.
 * ``reserve`` — run the X3 reserve-sizing ablation table.
+* ``recover`` — summarize an on-disk write-ahead journal (written by
+  ``quickstart --crash SEED --journal PATH``).
 
 All commands are deterministic; ``--seed`` perturbs the stochastic
 ones.
@@ -39,6 +41,11 @@ from .workloads.generators import (
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
+    if getattr(args, "crash", None) is not None:
+        from .experiments.crash_demo import run_crash_quickstart
+        print(run_crash_quickstart(args.crash,
+                                   journal_path=args.journal))
+        return 0
     if getattr(args, "telemetry", False):
         from .experiments.telemetry_demo import run_telemetry_quickstart
         print(run_telemetry_quickstart(
@@ -195,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="run with the telemetry hub installed and print the "
              "span-tree / metrics / event-stream activity report")
+    quickstart.add_argument(
+        "--crash", type=int, default=None, metavar="SEED",
+        help="kill the broker at a seed-chosen journal write point, "
+             "recover from the write-ahead journal, and finish the "
+             "session")
+    quickstart.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="with --crash: also write the durable journal to PATH "
+             "(readable later via 'repro recover PATH')")
+
+    recover = subparsers.add_parser(
+        "recover", help="summarize an on-disk write-ahead journal "
+                        "(cold-restart replay, no testbed)")
+    recover.add_argument("journal", metavar="JOURNAL",
+                         help="path to a journal written by "
+                              "'quickstart --crash ... --journal PATH'")
 
     telemetry = subparsers.add_parser(
         "telemetry", help="quickstart with spans, metrics, and the "
@@ -230,9 +253,20 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import pathlib
+    from .experiments.crash_demo import summarize_journal
+    if not pathlib.Path(args.journal).exists():
+        print(f"no journal at {args.journal}", file=sys.stderr)
+        return 1
+    print(summarize_journal(args.journal))
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "telemetry": _cmd_telemetry,
+    "recover": _cmd_recover,
     "example56": _cmd_example56,
     "diagram": _cmd_diagram,
     "sweep": _cmd_sweep,

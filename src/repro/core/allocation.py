@@ -78,6 +78,10 @@ class AllocationManager:
         """All tracked sessions, by SLA id."""
         return [self._sessions[sla_id] for sla_id in sorted(self._sessions)]
 
+    def reset(self) -> None:
+        """Forget every session (crash-recovery wipe)."""
+        self._sessions.clear()
+
     def sla_for_flow(self, flow: FlowAllocation) -> Optional[int]:
         """Map a network flow back to its owning SLA (verifier hook)."""
         for resources in self._sessions.values():

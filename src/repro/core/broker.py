@@ -44,6 +44,12 @@ from ..qos.cost import PricingPolicy
 from ..qos.parameters import Dimension
 from ..qos.specification import OperatingPoint, QoSSpecification
 from ..qos.vector import ResourceVector
+from ..recovery.journal import (
+    BEST_EFFORT_SET,
+    DeferredValue,
+    Journal,
+    SLA_SAVED,
+)
 from ..registry.query import ServiceQuery
 from ..registry.uddie import ServiceRecord, UddieRegistry
 from ..resources.compute import ComputeResourceManager, Job, JobState
@@ -55,6 +61,7 @@ from ..sla.lifecycle import Phase, QoSFunction, QoSSession
 from ..sla.negotiation import Negotiation, Offer, ServiceRequest
 from ..sla.repository import SLARepository
 from ..sla.violations import violation_penalty
+from ..xmlmsg.codec import render_service_sla
 from .accounting import AccountingLedger
 from .adaptation import AdaptationEngine
 from .allocation import AllocationManager
@@ -230,6 +237,16 @@ class AQoSBroker:
         #: Optional telemetry hub; :meth:`install_telemetry` wires it
         #: through every subsystem. ``None`` keeps all hooks disabled.
         self.telemetry: Optional[Telemetry] = None
+        #: Optional write-ahead journal;
+        #: :func:`repro.recovery.recover.install_journal` wires it
+        #: through every subsystem. ``None`` keeps every write point
+        #: at a single attribute check.
+        self.journal: Optional[Journal] = None
+        #: Cache of journaled SLA XML keyed by sla_id; an entry is
+        #: reused while the mutable document fields (the fingerprint)
+        #: are unchanged, which keeps journaling off the XML encoder
+        #: for status-only transitions.
+        self._journal_xml_cache: Dict[int, "tuple"] = {}
         self.engine = AdaptationEngine(partition, trace=trace,
                                        now=lambda: sim.now)
         self.verifier = SlaVerifier(sim, self.mds, self.repository,
@@ -299,6 +316,49 @@ class AQoSBroker:
             return nullcontext()
         return self.telemetry.tracer.span(name, component="aqos-broker",
                                           **attributes)
+
+    def _journal_sla(self, sla: ServiceSLA) -> None:
+        """Append an ``sla_saved`` record (document + lifecycle status).
+
+        Every durable change to an SLA document funnels through here,
+        so the journal always holds the latest full Table 4 XML for
+        each SLA — recovery rebuilds the repository from these alone.
+        """
+        if self.journal is None:
+            return
+        # Most saves are status-only transitions around an unchanged
+        # document; re-render the XML only when the mutable document
+        # fields (agreed/delivered point, price) actually moved.  The
+        # status rides alongside the XML in its own payload field, so
+        # a cached document is still exact.  The cache keys on copies
+        # of the point dicts (C-speed dict equality against the live
+        # ones), not on the SLA object, which may be rebound wholesale
+        # during renegotiation.
+        cached = self._journal_xml_cache.get(sla.sla_id)
+        if (cached is not None and cached[0] == sla.agreed_point
+                and cached[1] == sla.delivered_point
+                and cached[2] == sla.price_rate):  # qlint: disable=QLNT102 -- cache fingerprint: any change, however small, must re-render
+            xml = cached[3]
+        else:
+            # Render from a point-in-time snapshot, deferred to encode
+            # time: an in-memory store never pays for the XML on the
+            # admission path, and a durable store resolves it inside
+            # the append.  The copy pins the two mutable point dicts;
+            # every other field is immutable or rebound wholesale.
+            # (A raw ``__dict__`` copy, not ``copy.copy``: the generic
+            # path goes through ``__reduce_ex__`` and is several times
+            # slower on this hot path.)
+            snapshot = ServiceSLA.__new__(ServiceSLA)
+            state = dict(sla.__dict__)
+            state["agreed_point"] = dict(sla.agreed_point)
+            state["delivered_point"] = dict(sla.delivered_point)
+            snapshot.__dict__ = state
+            xml = DeferredValue(lambda: render_service_sla(snapshot))
+            self._journal_xml_cache[sla.sla_id] = (
+                snapshot.agreed_point, snapshot.delivered_point,
+                sla.price_rate, xml)
+        self.journal.append(SLA_SAVED, sla_id=sla.sla_id,
+                            status=sla.status.value, xml=xml)
 
     # ==================================================================
     # Establishment phase (Figure 2, steps 1-2)
@@ -476,6 +536,7 @@ class AQoSBroker:
 
         self.repository.save(sla)
         sla.establish()
+        self._journal_sla(sla)
         self.reservation_system.confirm(composite)
         resources = self.allocation.open_session(sla.sla_id, session)
         resources.reservation = composite
@@ -540,11 +601,19 @@ class AQoSBroker:
             self.engine.allocate_guaranteed_resource(
                 user_key, sla.delivered_demand().cpu)
         if composite is not None and composite.compute_handle is not None:
-            resources.job = self.compute_rm.launch(
-                sla.service_name, composite.compute_handle,
-                duration=sla.end - self.sim.now,
-                dsrt_fraction=0.8)
+            # A job that survived a broker crash is adopted, not
+            # relaunched — the reservation binding identifies it.
+            surviving = self.compute_rm.running_job_for(
+                composite.compute_handle)
+            if surviving is not None:
+                resources.job = surviving
+            else:
+                resources.job = self.compute_rm.launch(
+                    sla.service_name, composite.compute_handle,
+                    duration=sla.end - self.sim.now,
+                    dsrt_fraction=0.8)
         sla.activate()
+        self._journal_sla(sla)
 
         # Monitoring wiring.
         session.perform(QoSFunction.MONITORING, self.sim.now)
@@ -657,9 +726,15 @@ class AQoSBroker:
             self.record(f"best-effort request by {user!r} for {cpu:g} "
                         f"node(s): nothing available")
             return False
+        if self.journal is not None:
+            self.journal.append(BEST_EFFORT_SET, user=key, demand=cpu)
         if duration is not None:
-            self.sim.schedule(duration,
-                              lambda: self.engine.release_best_effort(key),
+            def _release() -> None:
+                self.engine.release_best_effort(key)
+                if self.journal is not None:
+                    self.journal.append(BEST_EFFORT_SET, user=key,
+                                        demand=0.0)
+            self.sim.schedule(duration, _release,
                               label=f"best-effort:{key}:release")
         self.stats.best_effort_granted += 1
         self.record(f"best-effort request by {user!r}: granted "
@@ -709,6 +784,7 @@ class AQoSBroker:
                 self._resize_network(composite, point)
         new_rate = self.pricing.point_rate(point, sla.service_class)
         self.ledger.rate_changed(sla.sla_id, self.sim.now, new_rate)
+        self._journal_sla(sla)
         self.record(f"SLA {sla.sla_id}: delivered point moved "
                     f"(rate now {new_rate:g})")
 
@@ -915,6 +991,7 @@ class AQoSBroker:
             if composite is not None and composite.network_booking is not None:
                 self._resize_network(composite, new_best)
         self.ledger.rate_changed(sla_id, self.sim.now, new_rate)
+        self._journal_sla(sla)
         self.record(f"SLA {sla_id} re-negotiated: new agreed point at "
                     f"rate {new_rate:g}")
         return True, ""
@@ -1079,6 +1156,7 @@ class AQoSBroker:
                     sla.expire()
                 else:
                     sla.terminate()
+                self._journal_sla(sla)
             self.ledger.session_ended(sla_id, self.sim.now)
             self.metrics.gauge("repro_sla_active_sessions").set(
                 float(len(self.repository.active())))

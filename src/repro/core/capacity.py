@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError
+from ..recovery.journal import CAPACITY_REBALANCED, Journal
 from ..units import iszero
 
 _EPSILON = 1e-9
@@ -184,6 +185,9 @@ class CapacityPartition:
         #: the constructor's initial call.
         self.observer: Optional[Callable[
             ["CapacityPartition", RebalanceReport], None]] = None
+        #: Optional write-ahead journal; every rebalance appends a
+        #: ``capacity_rebalanced`` record when set.
+        self.journal: Optional[Journal] = None
         self.rebalance()
 
     # ------------------------------------------------------------------
@@ -330,6 +334,18 @@ class CapacityPartition:
         """Total best-effort capacity currently served."""
         return sum(h.served for h in self._best_effort.values())
 
+    def clear_holdings(self) -> RebalanceReport:
+        """Drop every holding and rebalance (crash-recovery wipe).
+
+        Failure bookkeeping is untouched — the machine, not the
+        partition, is authoritative for lost capacity, and recovery
+        re-derives ``failed`` from it separately.
+        """
+        self._guaranteed.clear()
+        self._best_effort.clear()
+        self._arrivals = 0
+        return self.rebalance()
+
     # ------------------------------------------------------------------
     # The rebalance pass
     # ------------------------------------------------------------------
@@ -415,6 +431,10 @@ class CapacityPartition:
             adapt_transfer=adapt_transfer, pools=pools)
         if self.observer is not None:
             self.observer(self, self.last_report)
+        if self.journal is not None:
+            self.journal.append(CAPACITY_REBALANCED, failed=self._failed,
+                                committed=self.committed_total(),
+                                adapt_transfer=adapt_transfer)
         return self.last_report
 
     # ------------------------------------------------------------------

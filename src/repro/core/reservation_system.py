@@ -23,6 +23,16 @@ from ..gara.reservation import ReservationHandle
 from ..network.interdomain import EndToEndAllocation, InterDomainCoordinator
 from ..network.nrm import FlowAllocation, NetworkResourceManager
 from ..qos.vector import ResourceVector
+from ..recovery.journal import (
+    CANCEL,
+    COMPUTE_BOOKED,
+    CONFIRM,
+    Journal,
+    MODIFY,
+    NETWORK_BOOKED,
+    RESERVE_BEGIN,
+    RESERVE_END,
+)
 from ..resources.compute import ComputeResourceManager
 from ..rsl.builder import reservation_rsl
 from ..sim.engine import Simulator
@@ -32,6 +42,15 @@ from ..sla.document import NetworkDemand, ServiceSLA
 
 
 NetworkBooking = Union[FlowAllocation, EndToEndAllocation]
+
+
+def booking_flow_ids(booking: Optional[NetworkBooking]) -> "list[int]":
+    """The NRM flow ids behind a network booking (journal payload)."""
+    if booking is None:
+        return []
+    if isinstance(booking, EndToEndAllocation):
+        return [flow.flow_id for _nrm, flow in booking.segments]
+    return [booking.flow_id]
 
 
 @dataclass
@@ -68,6 +87,9 @@ class ReservationSystem:
         self._trace = trace
         #: Optional telemetry hub (spans around the RS protocol).
         self.telemetry: Optional[Telemetry] = None
+        #: Optional write-ahead journal; ``None`` keeps the protocol
+        #: hot path at a single attribute check per write point.
+        self.journal: Optional[Journal] = None
 
     def _span(self, name: str, sla_id: int) -> "ContextManager[object]":
         if self.telemetry is None:
@@ -142,10 +164,15 @@ class ReservationSystem:
                                         memory_mb=demand.memory_mb,
                                         disk_mb=demand.disk_mb)
         composite = CompositeReservation(sla_id=sla.sla_id)
+        if self.journal is not None:
+            self.journal.append(RESERVE_BEGIN, sla_id=sla.sla_id)
         if not compute_demand.is_zero():
             rsl = reservation_rsl(compute_demand, sla.start, sla.end,
                                   service_name=sla.service_name)
             composite.compute_handle = self._compute.gara.reservation_create(rsl)
+            if self.journal is not None:
+                self.journal.append(COMPUTE_BOOKED, sla_id=sla.sla_id,
+                                    handle=composite.compute_handle.value)
             self._record(sla, f"temporarily reserved compute "
                               f"{compute_demand} via RSL")
         if sla.network is not None:
@@ -157,17 +184,26 @@ class ReservationSystem:
                     self._compute.gara.reservation_cancel(
                         composite.compute_handle)
                 raise
+            if self.journal is not None:
+                self.journal.append(
+                    NETWORK_BOOKED, sla_id=sla.sla_id,
+                    flows=booking_flow_ids(composite.network_booking))
             self._record(sla, f"reserved network "
                               f"{sla.network.bandwidth_mbps:g} Mbps "
                               f"{sla.network.source_ip} -> "
                               f"{sla.network.dest_ip}")
+        if self.journal is not None:
+            self.journal.append(RESERVE_END, sla_id=sla.sla_id)
         return composite
 
     def confirm(self, composite: CompositeReservation) -> None:
-        """Commit the temporary compute reservation (SLA approved).
+        """Commit every leg of the composite (SLA approved).
 
         Must arrive before GARA's confirmation deadline, or the
         temporary reservation will already have been auto-cancelled.
+        The network booking is marked committed too, so reconciliation
+        can tell a confirmed composite from a temporary one whose
+        auto-cancel deadline has passed.
 
         Idempotent: a re-delivered confirm (retries and duplicated
         messages are a fact of life on a lossy control plane) is a
@@ -183,14 +219,25 @@ class ReservationSystem:
             if composite.compute_handle is not None:
                 self._compute.gara.reservation_commit(
                     composite.compute_handle)
+            if composite.network_booking is not None:
+                composite.network_booking.commit()
             composite.confirmed = True
+            if self.journal is not None:
+                self.journal.append(CONFIRM, sla_id=composite.sla_id)
 
     def cancel(self, composite: CompositeReservation) -> None:
-        """Tear down every leg of the composite reservation."""
+        """Tear down every leg of the composite reservation.
+
+        The ``cancelled`` flag is only set once *every* leg is
+        released: each release is individually idempotent (a cancelled
+        GARA reservation and an inactive flow are both skipped), so a
+        cancel that fails mid-teardown can simply be retried — an
+        early flag would turn the retry into a silent no-op and leak
+        the network booking.
+        """
         if composite.cancelled:
             return
         with self._span("cancel", composite.sla_id):
-            composite.cancelled = True
             if composite.compute_handle is not None:
                 reservation = self._compute.gara.reservation_status(
                     composite.compute_handle)
@@ -199,6 +246,9 @@ class ReservationSystem:
                         composite.compute_handle)
             if composite.network_booking is not None:
                 self._release_network(composite.network_booking)
+            composite.cancelled = True
+            if self.journal is not None:
+                self.journal.append(CANCEL, sla_id=composite.sla_id)
 
     def modify_compute(self, composite: CompositeReservation,
                        demand: ResourceVector, *, force: bool = False) -> None:
@@ -212,6 +262,11 @@ class ReservationSystem:
                 ResourceVector(cpu=demand.cpu, memory_mb=demand.memory_mb,
                                disk_mb=demand.disk_mb),
                 force=force)
+            if self.journal is not None:
+                self.journal.append(MODIFY, sla_id=composite.sla_id,
+                                    cpu=demand.cpu,
+                                    memory_mb=demand.memory_mb,
+                                    disk_mb=demand.disk_mb)
 
     def _record(self, sla: ServiceSLA, message: str) -> None:
         if self._trace is not None:

@@ -23,6 +23,8 @@ from ..network.topology import Topology
 from ..qos.cost import PricingPolicy
 from ..qos.parameters import Dimension, range_parameter
 from ..qos.specification import QoSSpecification
+from ..recovery.journal import Journal
+from ..recovery.snapshot import SnapshotKeeper
 from ..registry.uddie import UddieRegistry
 from ..resources.compute import ComputeResourceManager
 from ..resources.machine import Machine
@@ -68,6 +70,8 @@ class Testbed:
     relay: Optional[BusNotificationRelay] = None
     faults: Optional[FaultPlan] = None
     telemetry: Optional[Telemetry] = None
+    journal: Optional[Journal] = None
+    snapshots: Optional[SnapshotKeeper] = None
 
     @property
     def repository(self) -> SLARepository:

@@ -155,3 +155,21 @@ class AnalysisError(GQoSMError):
     Examples: analysing a path that contains no Python modules, or
     loading a baseline file with an unknown schema version.
     """
+
+
+class RecoveryError(GQoSMError):
+    """The recovery layer was driven incorrectly.
+
+    Examples: recovering a testbed that has no journal installed, or
+    decoding a journal/snapshot record with an unknown type.
+    """
+
+
+class BrokerCrash(GQoSMError):
+    """A simulated crash of the broker process.
+
+    Raised by the crash-point injection layer at a chosen journal
+    write; everything the broker holds only in memory is considered
+    lost at the point this propagates, while the authoritative
+    GARA/NRM state and the journal survive.
+    """

@@ -26,6 +26,7 @@ from xml.etree import ElementTree as ET
 from ..errors import MonitoringError
 from ..network.nrm import FlowAllocation, NetworkMeasurement
 from ..qos.parameters import Dimension
+from ..recovery.journal import Journal, RESTORATION, VIOLATION
 from ..sim.engine import Simulator
 from ..sim.trace import TraceRecorder
 from ..telemetry import MetricsRegistry, Telemetry
@@ -69,6 +70,9 @@ class SlaVerifier:
                         else MetricsRegistry(now=lambda: sim.now))
         #: Optional telemetry hub (spans for conformance tests).
         self.telemetry: Optional[Telemetry] = None
+        #: Optional write-ahead journal; violation/restoration state
+        #: *transitions* are appended when set.
+        self.journal: Optional[Journal] = None
         self.tolerance = tolerance
         #: sensor names attached per SLA id
         self._session_sensors: Dict[int, List[str]] = {}
@@ -101,6 +105,16 @@ class SlaVerifier:
         self._violating.discard(sla_id)
         self.metrics.gauge("repro_sla_violating_sessions").set(
             float(len(self._violating)))
+
+    def reset_sessions(self) -> None:
+        """Forget every session binding (crash-recovery wipe).
+
+        MDS registrations are left alone: recovery re-attaches sensors
+        by name, and :meth:`attach_sensor` deduplicates registration.
+        """
+        self._session_sensors.clear()
+        self._violating.clear()
+        self.metrics.gauge("repro_sla_violating_sessions").set(0.0)
 
     # ------------------------------------------------------------------
     # Conformance testing
@@ -148,6 +162,8 @@ class SlaVerifier:
                 self._violating.add(sla_id)
                 self.metrics.counter(
                     "repro_sla_violations_detected_total").inc()
+                if self.journal is not None:
+                    self.journal.append(VIOLATION, sla_id=sla_id)
             self.metrics.counter(
                 "repro_sla_degradation_notices_total",
                 source="sla-verif").inc()
@@ -159,6 +175,8 @@ class SlaVerifier:
         elif sla_id in self._violating:
             self._violating.discard(sla_id)
             self.metrics.counter("repro_sla_restorations_total").inc()
+            if self.journal is not None:
+                self.journal.append(RESTORATION, sla_id=sla_id)
         self.metrics.gauge("repro_sla_violating_sessions").set(
             float(len(self._violating)))
         return report

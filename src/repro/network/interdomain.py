@@ -27,6 +27,7 @@ class EndToEndAllocation:
     bandwidth_mbps: float
     segments: "List[Tuple[NetworkResourceManager, FlowAllocation]]"
     active: bool = True
+    committed: bool = False
 
     def release(self) -> None:
         """Tear down every segment."""
@@ -35,6 +36,12 @@ class EndToEndAllocation:
         self.active = False
         for nrm, flow in self.segments:
             nrm.release(flow)
+
+    def commit(self) -> None:
+        """Mark every segment's booking confirmed (idempotent)."""
+        self.committed = True
+        for _nrm, flow in self.segments:
+            flow.commit()
 
 
 class InterDomainCoordinator:
@@ -56,6 +63,10 @@ class InterDomainCoordinator:
         if nrm is None:
             raise NetworkError(f"no NRM registered for domain {domain!r}")
         return nrm
+
+    def nrms(self) -> "List[NetworkResourceManager]":
+        """Every managed NRM, in deterministic domain order."""
+        return [self._nrms[domain] for domain in sorted(self._nrms)]
 
     def _segments(self, source: str, destination: str
                   ) -> "List[Tuple[str, List[Link], str, str]]":

@@ -57,6 +57,9 @@ class FlowAllocation:
         entries: Per-link slot-table bookings.
         start, end: Reservation window.
         active: Whether the allocation still holds bandwidth.
+        committed: Whether the booking was confirmed (vs temporary);
+            reconciliation uses this to tell a confirmed composite
+            from one still inside GARA's auto-cancel window.
     """
 
     flow_id: int
@@ -68,6 +71,11 @@ class FlowAllocation:
     start: float
     end: float
     active: bool = True
+    committed: bool = False
+
+    def commit(self) -> None:
+        """Mark the booking confirmed (idempotent)."""
+        self.committed = True
 
 
 #: Degradation listener: called with (flow, measurement) when a flow's
@@ -300,6 +308,17 @@ class NetworkResourceManager:
     def flows(self) -> List[FlowAllocation]:
         """All active flows."""
         return [flow for flow in self._flows.values() if flow.active]
+
+    def flow(self, flow_id: int) -> Optional[FlowAllocation]:
+        """Look up an active flow by id (``None`` when gone).
+
+        Recovery's reconciliation sweep uses this to re-adopt journaled
+        network bookings that survived a broker crash.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is not None and flow.active:
+            return flow
+        return None
 
     # ------------------------------------------------------------------
     # Measurement & congestion

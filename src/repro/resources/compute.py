@@ -264,6 +264,19 @@ class ComputeResourceManager:
         return [job for job in self._jobs.values()
                 if job.state is JobState.RUNNING]
 
+    def running_job_for(self, handle: ReservationHandle) -> Optional[Job]:
+        """The running job bound to a reservation, if any.
+
+        Crash recovery adopts surviving jobs through this lookup
+        instead of double-launching a second process against the same
+        reservation.
+        """
+        for job in self._jobs.values():
+            if (job.state is JobState.RUNNING
+                    and job.handle.value == handle.value):
+                return job
+        return None
+
     def _record(self, message: str) -> None:
         if self._trace is not None:
             self._trace.record(self._sim.now, "compute",

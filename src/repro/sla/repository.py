@@ -97,6 +97,27 @@ class SLARepository:
     # Table 4 XML schema.
     # ------------------------------------------------------------------
 
+    def resume_ids(self, after: int) -> None:
+        """Resume id allocation above ``after``.
+
+        Journal replay rebuilds documents out of band and must leave
+        the counter past every id it saw, so post-recovery requests
+        never collide with a pre-crash SLA.
+        """
+        self._ids = itertools.count(max(after, 999) + 1)
+
+    def restore(self, other: "SLARepository") -> None:
+        """Replace this repository's contents in place.
+
+        Crash recovery rebuilds a repository from journal/snapshot XML
+        and then swaps it *into* the live object, so every component
+        holding a reference (verifier, gateway, broker) keeps working
+        without rewiring.
+        """
+        self._slas.clear()
+        self._slas.update(other._slas)
+        self._ids = other._ids
+
     def export_xml(self) -> str:
         """Serialize every stored SLA as one ``<SLA_Repository>``
         document (statuses included)."""

@@ -217,7 +217,7 @@ def _trim(value: float) -> str:
     """Format a float without a trailing ``.0`` (``10.0`` -> ``"10"``)."""
     if value == int(value):
         return str(int(value))
-    return f"{value:g}"
+    return f"{value:.12g}"
 
 
 def render_cpu(count: int) -> str:

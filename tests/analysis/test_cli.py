@@ -44,6 +44,10 @@ VIOLATIONS = {
                 "class Cache:\n"
                 "    def hit(self):\n"
                 "        self.stale_hits += 1\n"),
+    "QLNT114": ("repro/core/flag_flip.py",
+                "class Helper:\n"
+                "    def tidy(self, composite):\n"
+                "        composite.confirmed = True\n"),
 }
 
 

@@ -455,6 +455,85 @@ class TestPrivateCounter:
 
 
 # ----------------------------------------------------------------------
+# QLNT114 — journaled state mutated outside the journal API
+# ----------------------------------------------------------------------
+
+class TestJournaledState:
+    @pytest.mark.parametrize("snippet,field", [
+        (("class Helper:\n"
+          "    def tidy(self, composite):\n"
+          "        composite.confirmed = True\n"), "confirmed"),
+        (("class Helper:\n"
+          "    def drop(self, composite):\n"
+          "        composite.cancelled = True\n"), "cancelled"),
+        (("class Helper:\n"
+          "    def push(self, booking):\n"
+          "        booking.committed = True\n"), "committed"),
+        (("class Partition:\n"
+          "    def shrink(self):\n"
+          "        self._failed += 4.0\n"), "_failed"),
+    ])
+    def test_mutation_outside_transition_method_flags(self, run, snippet,
+                                                      field):
+        findings = run(snippet, relpath="src/repro/core/module.py",
+                       rule_id="QLNT114")
+        assert findings and field in findings[0].message
+
+    @pytest.mark.parametrize("snippet", [
+        ("class Composite:\n"
+         "    def confirm(self):\n"
+         "        self.confirmed = True\n"),
+        ("class Composite:\n"
+         "    def cancel(self):\n"
+         "        self.cancelled = True\n"),
+        ("class Booking:\n"
+         "    def commit(self):\n"
+         "        self.committed = True\n"),
+        ("class Booking:\n"
+         "    def __init__(self):\n"
+         "        self.committed = False\n"),
+        ("class Partition:\n"
+         "    def apply_failure(self, lost):\n"
+         "        self._failed += lost\n"),
+    ])
+    def test_declared_transition_methods_are_clean(self, run, snippet):
+        assert run(snippet, relpath="src/repro/core/module.py",
+                   rule_id="QLNT114") == []
+
+    def test_dataclass_field_default_is_clean(self, run):
+        # A class-level annotated default declares the field; it does
+        # not mutate journaled state.
+        snippet = ("class CompositeReservation:\n"
+                   "    confirmed: bool = False\n"
+                   "    cancelled: bool = False\n")
+        assert run(snippet, relpath="src/repro/core/module.py",
+                   rule_id="QLNT114") == []
+
+    def test_all_journaling_layers_are_in_scope(self, run):
+        snippet = ("class C:\n"
+                   "    def f(self):\n"
+                   "        self.confirmed = True\n")
+        for layer in ("core", "network", "gara", "sla"):
+            assert run(snippet, relpath=f"src/repro/{layer}/module.py",
+                       rule_id="QLNT114")
+
+    def test_recovery_layer_is_exempt(self, run):
+        # Replay legitimately rebuilds the flags it folds from records.
+        snippet = ("class View:\n"
+                   "    def fold(self, composite):\n"
+                   "        composite.confirmed = True\n")
+        assert run(snippet, relpath="src/repro/recovery/recover.py",
+                   rule_id="QLNT114") == []
+
+    def test_unrelated_fields_are_clean(self, run):
+        snippet = ("class C:\n"
+                   "    def f(self):\n"
+                   "        self.started = True\n")
+        assert run(snippet, relpath="src/repro/core/module.py",
+                   rule_id="QLNT114") == []
+
+
+# ----------------------------------------------------------------------
 # Catalogue invariants
 # ----------------------------------------------------------------------
 
@@ -465,5 +544,5 @@ def test_rule_catalogue_is_stable():
     assert len(ids) == len(set(ids))
     assert len(ids) >= 8
     assert all(rule.title for rule in rules)
-    expected = {f"QLNT1{n:02d}" for n in range(1, 14)}
+    expected = {f"QLNT1{n:02d}" for n in range(1, 15)}
     assert set(ids) == expected

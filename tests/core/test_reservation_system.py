@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.reservation_system import ReservationSystem
-from repro.errors import CapacityError, ReservationError
+from repro.errors import CapacityError, NetworkError, ReservationError
 from repro.gara.reservation import ReservationState
 from repro.network.nrm import NetworkResourceManager
 from repro.network.topology import Topology
@@ -127,3 +127,41 @@ class TestCancelAndModify:
         with pytest.raises(ReservationError):
             rs.modify_compute(CompositeReservation(sla_id=9),
                               ResourceVector(cpu=1))
+
+
+class TestCrashConsistencyRegressions:
+    def test_failed_cancel_can_be_retried(self, world, monkeypatch):
+        # Regression: ``cancelled`` used to be flipped before the legs
+        # were released, so a cancel that died mid-teardown turned the
+        # retry into a no-op and leaked the network booking.
+        _sim, compute, nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=10, bandwidth=100.0))
+        release = rs._release_network
+        calls = []
+
+        def flaky_release(booking):
+            calls.append(booking)
+            if len(calls) == 1:
+                raise NetworkError("release message lost")
+            release(booking)
+
+        monkeypatch.setattr(rs, "_release_network", flaky_release)
+        with pytest.raises(NetworkError):
+            rs.cancel(composite)
+        assert composite.cancelled is False
+        rs.cancel(composite)  # the retry must actually tear down
+        assert composite.cancelled is True
+        assert nrm.available_bandwidth("siteB", "siteA", 0, 100) == 622.0
+        assert compute.available(0, 100).cpu == 26
+
+    def test_confirm_commits_network_booking(self, world):
+        # Regression: confirm committed the GARA leg but left the
+        # network booking uncommitted, so post-crash reconciliation
+        # could not tell a confirmed composite from a temporary one.
+        _sim, _compute, _nrm, rs = world
+        composite = rs.reserve(make_sla(cpu=4, bandwidth=50.0))
+        assert composite.network_booking.committed is False
+        rs.confirm(composite)
+        assert composite.network_booking.committed is True
+        rs.confirm(composite)  # idempotent re-delivery stays committed
+        assert composite.network_booking.committed is True
