@@ -13,8 +13,6 @@ latency, never into a violated guarantee. Results are written to
 
 from __future__ import annotations
 
-import json
-import pathlib
 
 from repro.core.testbed import build_testbed, install_chaos
 from repro.errors import CircuitOpenError
@@ -24,9 +22,9 @@ from repro.qos.specification import QoSSpecification
 from repro.sla.document import SlaStatus
 from repro.sla.negotiation import ServiceRequest
 
-from .conftest import report
+from .conftest import report, write_artifact
 
-ARTIFACT = pathlib.Path(__file__).resolve().parent / "BENCH_chaos.json"
+ARTIFACT_NAME = "BENCH_chaos.json"
 DROP_PROBABILITIES = (0.0, 0.05, 0.1, 0.15, 0.2)
 CHAOS_SEEDS = (7, 19, 31)
 CLIENTS = (("user1", 6), ("user2", 5), ("user3", 4))
@@ -108,7 +106,7 @@ def test_bus_chaos_drop_sweep_artifact():
         }
         results["points"].append(point)
 
-    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    write_artifact(ARTIFACT_NAME, results)
 
     lines = [f"{'drop':>6} {'estab':>6} {'compl':>6} {'rate':>6} "
              f"{'retries':>8} {'timeouts':>9} {'dead':>5}"]

@@ -27,8 +27,6 @@ while interleaving cancels it.
 from __future__ import annotations
 
 import gc
-import json
-import pathlib
 import time
 
 from repro.core.broker import ServiceRequest
@@ -40,9 +38,9 @@ from repro.recovery.journal import CONFIRM, Journal, MemoryJournalStore
 from repro.recovery.recover import install_journal
 from repro.sla.document import NetworkDemand
 
-from .conftest import report
+from .conftest import report, write_artifact
 
-ARTIFACT = pathlib.Path(__file__).resolve().parent / "BENCH_recovery.json"
+ARTIFACT_NAME = "BENCH_recovery.json"
 WARMUP = 20
 ROUNDS = 400
 TRIALS = 3
@@ -160,7 +158,7 @@ def test_journal_overhead_artifact(tmp_path):
         "append_per_record_s": append_s,
         "budget_fraction": BUDGET,
     }
-    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    write_artifact(ARTIFACT_NAME, results)
 
     report(
         "Journal overhead — write-ahead hooks on the admission path",

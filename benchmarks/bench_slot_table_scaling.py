@@ -15,17 +15,15 @@ timed create is a normal (admission-checked) reserve.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 from repro.gara._reference import NaiveSlotTable
 from repro.gara.slot_table import SlotTable
 from repro.qos.vector import ResourceVector
 
-from .conftest import report
+from .conftest import report, write_artifact
 
-ARTIFACT = pathlib.Path(__file__).resolve().parent / "BENCH_slot_table.json"
+ARTIFACT_NAME = "BENCH_slot_table.json"
 SIZES = (100, 1_000, 10_000)
 #: Fewer repeats for the naive table at large n (a single naive create
 #: against 10k bookings costs hundreds of milliseconds).
@@ -96,7 +94,7 @@ def test_slot_table_scaling_artifact():
         "create_speedup": speedup_200,
     }
 
-    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    write_artifact(ARTIFACT_NAME, results)
 
     lines = [f"{'n':>7} {'create idx':>12} {'create naive':>13} "
              f"{'speedup':>9} {'usage_at idx':>13} {'usage_at naive':>15}"]

@@ -19,8 +19,6 @@ Three measurements, written to ``benchmarks/BENCH_telemetry.json``:
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 from repro.gara.api import GaraApi
@@ -30,9 +28,9 @@ from repro.rsl.builder import reservation_rsl
 from repro.sim.engine import Simulator
 from repro.telemetry import Telemetry
 
-from .conftest import report
+from .conftest import report, write_artifact
 
-ARTIFACT = pathlib.Path(__file__).resolve().parent / "BENCH_telemetry.json"
+ARTIFACT_NAME = "BENCH_telemetry.json"
 LIVE_BOOKINGS = 200
 REPEATS = 400
 GUARD_LOOPS = 100_000
@@ -123,7 +121,7 @@ def test_telemetry_overhead_artifact():
         "enabled_overhead_fraction": (enabled_s - disabled_s)
         / disabled_s,
     }
-    ARTIFACT.write_text(json.dumps(results, indent=2) + "\n")
+    write_artifact(ARTIFACT_NAME, results)
 
     report(
         "Telemetry overhead — disabled-mode guards on the hot path",

@@ -18,6 +18,7 @@ QLNT111   Debug ``print`` in library code
 QLNT112   Raw ``bus.request()`` outside the transport layer
 QLNT113   Private mutable counter shadowing the metrics registry
 QLNT114   Journaled state mutated outside the journal API
+QLNT115   Object allocation in the DES/slot-table hot loop
 ========  ==============================================================
 """
 
@@ -28,6 +29,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     exceptions,
     exports,
     floats,
+    hotpaths,
     hygiene,
     journaling,
     messaging,
@@ -41,6 +43,7 @@ __all__ = [
     "exceptions",
     "exports",
     "floats",
+    "hotpaths",
     "hygiene",
     "journaling",
     "messaging",

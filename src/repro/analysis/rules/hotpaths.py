@@ -1,0 +1,94 @@
+"""QLNT115 — allocation in the DES/slot-table hot loops.
+
+The array-backed cores exist because the event queue pops millions of
+tuples per experiment and the slot table answers a capacity probe per
+admission: both were rebuilt around flat parallel arrays precisely so
+the inner loops touch no Python object allocation.  One stray
+``lambda`` capture or per-event wrapper object in those loops silently
+re-introduces the allocation cost the rewrite removed — and nothing
+functional breaks, so only a benchmark (or this rule) would notice.
+
+The table below names the hot functions.  Inside them three things
+flag: ``lambda`` expressions (closure allocation per iteration),
+nested ``def`` (same, plus a cell per captured variable), and
+capitalized constructor calls.  Declared allowed idioms:
+
+* ``ResourceVector`` — the slot-table probes *return* one aggregate
+  vector per call; building the single result is the contract, it is
+  the per-boundary/per-event objects that are banned;
+* constructor calls inside ``raise`` — error paths are cold.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: module suffix -> the functions forming its allocation-free hot path.
+HOT_PATHS: "Dict[str, FrozenSet[str]]" = {
+    # The event-queue inner loop: one heap-tuple pop per event.
+    "repro/sim/events.py": frozenset({"pop", "peek_time"}),
+    # The dispatch loop driving it.
+    "repro/sim/engine.py": frozenset({"run", "step"}),
+    # The admission-rate probe path over the parallel usage columns.
+    "repro/gara/slot_table.py": frozenset({
+        "usage_at", "available_at", "peak_usage", "available",
+        "can_reserve", "utilization_at", "_apply_delta"}),
+}
+
+#: Constructors a hot function may call (see module docstring).
+ALLOWED_CONSTRUCTORS: "FrozenSet[str]" = frozenset({"ResourceVector"})
+
+
+def _hot_functions(relpath: str) -> "Optional[FrozenSet[str]]":
+    normalized = relpath.replace("\\", "/")
+    for suffix, functions in HOT_PATHS.items():
+        if normalized.endswith(suffix):
+            return functions
+    return None
+
+
+@register
+class HotPathAllocationRule(Rule):
+    rule_id = "QLNT115"
+    title = "object allocation in the DES/slot-table hot loop"
+    severity = Severity.ERROR
+    node_types = (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef,
+                  ast.Call)
+
+    def applies_to(self, relpath: str) -> bool:
+        return _hot_functions(relpath) is not None
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        hot = _hot_functions(ctx.relpath)
+        # The engine dispatches the def/lambda node *before* pushing
+        # its own name, so current_function() is the enclosing scope.
+        function = ctx.current_function()
+        if hot is None or function not in hot:
+            return
+        if isinstance(node, ast.Lambda):
+            ctx.report(self, node,
+                       f"lambda inside hot function {function}() "
+                       f"allocates a closure per iteration; hoist the "
+                       f"callable out of the loop")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ctx.report(self, node,
+                       f"nested function {node.name}() inside hot "
+                       f"function {function}() allocates a closure "
+                       f"per call; define it at module or class scope")
+        else:
+            name = node.func
+            if not isinstance(name, ast.Name):
+                return
+            if not name.id[:1].isupper() or name.id in ALLOWED_CONSTRUCTORS:
+                return
+            if isinstance(ctx.parent(node), ast.Raise):
+                return  # error paths are cold
+            ctx.report(self, node,
+                       f"{name.id}(...) constructed inside hot function "
+                       f"{function}(); the flat-array core exists so "
+                       f"this loop allocates no per-event objects — "
+                       f"keep scalars/tuples or extend the declared "
+                       f"allowed idioms")

@@ -99,8 +99,8 @@ class AdaptationEngine:
                    f"best-effort unit(s)" if report.preempted else ""))
         return report
 
-    def allocate_guaranteed_resource(self, user: str,
-                                     demand: float) -> AllocationDecision:
+    def allocate_guaranteed_resource(
+            self, user: str, demand: float) -> "Optional[AllocationDecision]":
         """``Allocate_Guaranteed_Resource(c(u,t), g(u))``.
 
         * demand within ``g(u)`` must be served (``Adapt()`` runs if the
@@ -110,10 +110,17 @@ class AdaptationEngine:
 
         The user must already hold an admitted SLA
         (:meth:`admit_guaranteed`).
+
+        When the partition is in deferred-rebalance mode (batch
+        admission), the demand is recorded but no assignment exists
+        yet, so ``None`` is returned and no decision is logged — the
+        batch's single water-fill settles every member at once.
         """
         before = self.partition.last_report
         before_transfer = before.adapt_transfer if before else 0.0
         report = self.partition.set_guaranteed_demand(user, demand)
+        if report is None:
+            return None
         holding = self.partition.guaranteed_holding(user)
         adapted = report.adapt_transfer > before_transfer + 1e-9
         if adapted:

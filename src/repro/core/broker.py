@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, ContextManager, Dict, List, Optional
+from typing import Callable, ContextManager, Dict, List, Optional, Sequence
 
 from ..errors import (
     AdmissionError,
@@ -627,8 +627,10 @@ class AQoSBroker:
             self.verifier.attach_sensor(sla_id, network_sensor)
             resources.sensor_names.append(network_sensor.name)
         self.ledger.session_started(sla_id, self.sim.now, sla.price_rate)
-        self.metrics.gauge("repro_sla_active_sessions").set(
-            float(len(self.repository.active())))
+        # Counted up/down on activate/close rather than recounted from
+        # the repository: the recount is O(n log n) and sits on the
+        # admission hot path. Recovery re-seeds the gauge after replay.
+        self.metrics.gauge("repro_sla_active_sessions").add(1.0)
 
     def add_peer(self, peer: "AQoSBroker") -> None:
         """Register a neighboring AQoS broker (Figure 1 shows the
@@ -678,6 +680,48 @@ class AQoSBroker:
             if forwarded is not None:
                 return forwarded
         return outcome
+
+    def request_services(
+            self, requests: "Sequence[ServiceRequest]",
+    ) -> "List[ServiceOutcome]":
+        """Admit a batch of requests at the current sim tick.
+
+        Decision-identical to calling :meth:`request_service` on each
+        request in order — same accepts, same rejects, same holdings —
+        but the per-request overheads are amortized across the batch:
+
+        * the capacity partition runs **one** water-fill for the whole
+          batch instead of one per admission
+          (:meth:`~repro.core.capacity.CapacityPartition.defer_rebalances`);
+          any mid-batch read of rebalance-derived state (a rejection
+          probing idle capacity, a Scenario-1 squeeze, a best-effort
+          admission) flushes the pending pass first, which is exactly
+          the fall-back to per-request semantics;
+        * the journal buffers every record the batch writes and
+          group-commits them in one bulk append
+          (:meth:`~repro.recovery.journal.Journal.begin_group`) — LSNs
+          are identical to sequential admission, only the store-level
+          write is batched.
+        """
+        journal = self.journal
+        partition = self.partition
+        outcomes: "List[ServiceOutcome]" = []
+        if journal is not None:
+            journal.begin_group()
+        try:
+            partition.defer_rebalances()
+            try:
+                for request in requests:
+                    outcomes.append(self.request_service(request))
+            finally:
+                # Settle the batch's single water-fill before the
+                # group commits, so its journal record lands inside
+                # the group.
+                partition.resume_rebalances()
+        finally:
+            if journal is not None:
+                journal.commit_group()
+        return outcomes
 
     def _forward(self, request: ServiceRequest) -> Optional[ServiceOutcome]:
         """Try each peer; returns the first accepting outcome.
@@ -1130,6 +1174,7 @@ class AQoSBroker:
         self._closing.add(sla_id)
         try:
             sla = self.repository.get(sla_id)
+            was_active = sla.status is SlaStatus.ACTIVE
             resources = (self.allocation.close_session(sla_id)
                          if self.allocation.has(sla_id) else None)
             if resources is not None:
@@ -1158,8 +1203,8 @@ class AQoSBroker:
                     sla.terminate()
                 self._journal_sla(sla)
             self.ledger.session_ended(sla_id, self.sim.now)
-            self.metrics.gauge("repro_sla_active_sessions").set(
-                float(len(self.repository.active())))
+            if was_active:
+                self.metrics.gauge("repro_sla_active_sessions").add(-1.0)
             suffix = f" ({note})" if note else ""
             self.record(f"SLA {sla_id} closed: {cause}{suffix}")
         finally:

@@ -178,6 +178,17 @@ class CapacityPartition:
         self._guaranteed: Dict[str, GuaranteedHolding] = {}
         self._best_effort: Dict[str, BestEffortHolding] = {}
         self._arrivals = 0
+        #: Running ``Σ g(u)``, maintained by admit/remove/clear so the
+        #: admission test never re-sums the holdings.
+        self._committed = 0.0
+        #: Sorted-holdings cache, invalidated by admit/remove/clear;
+        #: the water-fill walks it twice per pass.
+        self._sorted: Optional[List[GuaranteedHolding]] = None
+        #: Deferred-rebalance mode (batch admission): demand updates
+        #: mark the assignment dirty instead of rebalancing, and every
+        #: reader of rebalance-derived state flushes first.
+        self._deferred = False
+        self._dirty = False
         self.last_report: Optional[RebalanceReport] = None
         #: Optional callback ``(partition, report)`` invoked after
         #: every rebalance — the telemetry capacity gauges hook in
@@ -236,8 +247,12 @@ class CapacityPartition:
     # ------------------------------------------------------------------
 
     def committed_total(self) -> float:
-        """``Σ g(u)`` over admitted guaranteed users."""
-        return sum(h.committed for h in self._guaranteed.values())
+        """``Σ g(u)`` over admitted guaranteed users.
+
+        A running sum (O(1)): commitments only change on admit, remove
+        and clear, each of which maintains it.
+        """
+        return self._committed
 
     def available_guaranteed_resource(self, committed: float) -> bool:
         """The paper's ``Available_Guaranteed_Resource(g(u))`` test:
@@ -266,24 +281,38 @@ class CapacityPartition:
                 f"Cg={self.cg:g}")
         holding = GuaranteedHolding(user=user, committed=committed)
         self._guaranteed[user] = holding
+        self._committed += committed
+        self._sorted = None
         return holding
 
     def set_guaranteed_demand(self, user: str,
-                              demand: float) -> RebalanceReport:
-        """Update ``c(u,t)`` for an admitted user and rebalance."""
+                              demand: float) -> Optional[RebalanceReport]:
+        """Update ``c(u,t)`` for an admitted user and rebalance.
+
+        In deferred mode (:meth:`defer_rebalances`) the demand is
+        recorded but the water-fill is postponed; ``None`` is returned
+        instead of a report.
+        """
         holding = self._guaranteed.get(user)
         if holding is None:
             raise AdmissionError(f"user {user!r} is not admitted")
         if demand < 0:
             raise AdmissionError(f"demand must be >= 0: {demand}")
         holding.demand = demand
+        if self._deferred:
+            self._dirty = True
+            return None
         return self.rebalance()
 
     def remove_guaranteed(self, user: str) -> RebalanceReport:
         """Drop a guaranteed user (SLA completed/expired) and rebalance."""
-        if user not in self._guaranteed:
+        holding = self._guaranteed.pop(user, None)
+        if holding is None:
             raise AdmissionError(f"user {user!r} is not admitted")
-        del self._guaranteed[user]
+        self._committed -= holding.committed
+        if not self._guaranteed:
+            self._committed = 0.0
+        self._sorted = None
         return self.rebalance()
 
     def guaranteed_holding(self, user: str) -> GuaranteedHolding:
@@ -291,11 +320,21 @@ class CapacityPartition:
         holding = self._guaranteed.get(user)
         if holding is None:
             raise AdmissionError(f"user {user!r} is not admitted")
+        self._flush()
         return holding
+
+    def _sorted_holdings(self) -> List[GuaranteedHolding]:
+        """The sort-key-ordered holdings list (cached, not flushed)."""
+        cache = self._sorted
+        if cache is None:
+            cache = self._sorted = [
+                self._guaranteed[user] for user in sorted(self._guaranteed)]
+        return cache
 
     def guaranteed_holdings(self) -> List[GuaranteedHolding]:
         """All guaranteed holdings (stable order)."""
-        return [self._guaranteed[user] for user in sorted(self._guaranteed)]
+        self._flush()
+        return list(self._sorted_holdings())
 
     # ------------------------------------------------------------------
     # Best-effort demand
@@ -323,15 +362,18 @@ class CapacityPartition:
         holding = self._best_effort.get(user)
         if holding is None:
             raise AdmissionError(f"user {user!r} has no best-effort demand")
+        self._flush()
         return holding
 
     def best_effort_holdings(self) -> List[BestEffortHolding]:
         """All best-effort holdings, in arrival order."""
+        self._flush()
         return sorted(self._best_effort.values(),
                       key=lambda h: h.arrival_order)
 
     def best_effort_served(self) -> float:
         """Total best-effort capacity currently served."""
+        self._flush()
         return sum(h.served for h in self._best_effort.values())
 
     def clear_holdings(self) -> RebalanceReport:
@@ -344,7 +386,43 @@ class CapacityPartition:
         self._guaranteed.clear()
         self._best_effort.clear()
         self._arrivals = 0
+        self._committed = 0.0
+        self._sorted = None
         return self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Deferred rebalancing (batch admission)
+    # ------------------------------------------------------------------
+
+    def defer_rebalances(self) -> None:
+        """Enter deferred mode: demand updates postpone the water-fill.
+
+        While deferred, :meth:`set_guaranteed_demand` marks the
+        assignment dirty instead of rebalancing. Every reader of
+        rebalance-derived state (holdings, served totals, idle
+        capacity, snapshots) flushes the pending pass first, so no
+        caller can ever observe a stale assignment — which is what
+        keeps batched admission decision-identical to sequential
+        admission. Mutations that rebalance unconditionally (failures,
+        removals, best-effort demand) also absorb the pending pass.
+        """
+        self._deferred = True
+
+    def resume_rebalances(self) -> Optional[RebalanceReport]:
+        """Leave deferred mode, running any pending water-fill.
+
+        Returns the flushed report, or ``None`` when nothing was
+        pending.
+        """
+        self._deferred = False
+        if self._dirty:
+            return self.rebalance()
+        return None
+
+    def _flush(self) -> None:
+        """Run a pending deferred water-fill, if any."""
+        if self._dirty:
+            self.rebalance()
 
     # ------------------------------------------------------------------
     # The rebalance pass
@@ -352,6 +430,7 @@ class CapacityPartition:
 
     def rebalance(self) -> RebalanceReport:
         """Recompute the full assignment (see module docstring)."""
+        self._dirty = False
         eff_g, eff_a, eff_b = self.effective_sizes()
         previous_be = {user: holding.served
                        for user, holding in self._best_effort.items()}
@@ -374,7 +453,7 @@ class CapacityPartition:
         # --- Tier 1: entitled guaranteed demand -----------------------
         shortfalls: Dict[str, float] = {}
         adapt_transfer = 0.0
-        for holding in self.guaranteed_holdings():
+        for holding in self._sorted_holdings():
             holding.from_g = holding.from_a = holding.from_b = 0.0
             need = holding.entitled
             got_g = draw("g", "guaranteed", need)
@@ -392,7 +471,7 @@ class CapacityPartition:
                 shortfalls[holding.user] = need
 
         # --- Tier 2: excess guaranteed demand --------------------------
-        for holding in self.guaranteed_holdings():
+        for holding in self._sorted_holdings():
             excess = max(0.0, holding.demand - holding.committed)
             if excess <= _EPSILON:
                 continue
@@ -443,16 +522,19 @@ class CapacityPartition:
 
     def total_served(self) -> float:
         """All capacity currently allocated across every tier."""
+        self._flush()
         return (sum(h.served for h in self._guaranteed.values())
                 + self.best_effort_served())
 
     def idle_capacity(self) -> float:
         """Effective capacity not serving anyone."""
+        self._flush()
         eff_g, eff_a, eff_b = self.effective_sizes()
         return max(0.0, eff_g + eff_a + eff_b - self.total_served())
 
     def utilization(self) -> float:
         """Fraction of effective capacity in use (0 when none exists)."""
+        self._flush()
         eff_total = sum(self.effective_sizes())
         if eff_total <= 0:
             return 0.0
@@ -460,6 +542,7 @@ class CapacityPartition:
 
     def snapshot(self) -> "Dict[str, float]":
         """Flat numeric snapshot for metrics and reports."""
+        self._flush()
         eff_g, eff_a, eff_b = self.effective_sizes()
         report = self.last_report
         return {

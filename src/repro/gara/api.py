@@ -17,6 +17,7 @@ confirmation deadline passes, exactly as Section 3.1 describes.
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import Dict, List, Optional
 
@@ -56,6 +57,10 @@ class GaraApi:
         self.confirm_timeout = confirm_timeout
         self._trace = trace
         self._reservations: Dict[int, Reservation] = {}
+        # Per-gatekeeper handle numbering (like per-table slot-entry
+        # ids): two testbeds built in one process assign identical
+        # handles, so journal payloads are comparable across runs.
+        self._handles = itertools.count(1000)
         #: Optional telemetry hub; ``None`` keeps the reservation hot
         #: path exactly as fast as before (a single attribute check).
         self.telemetry: Optional[Telemetry] = None
@@ -87,7 +92,7 @@ class GaraApi:
         """
         demand, start, end, label = vector_from_rsl(req_rsl)
         entry = self._table.reserve(demand, start, end, label=label or "")
-        handle = ReservationHandle.fresh()
+        handle = ReservationHandle(next(self._handles))
         reservation = Reservation(
             handle=handle, entry=entry, rsl=req_rsl,
             created_at=self._sim.now,

@@ -43,8 +43,6 @@ from ..qos.vector import ResourceVector
 #: Sentinel end time for open-ended reservations.
 FOREVER = float("inf")
 
-_ZERO_USAGE = (0.0, 0.0, 0.0, 0.0)
-
 
 @dataclass(frozen=True)
 class SlotEntry:
@@ -75,8 +73,12 @@ class SlotTable:
     * ``_times`` — sorted, distinct boundary times; segment ``i``
       covers ``[_times[i], _times[i+1])`` (the last segment extends to
       :data:`FOREVER`), and usage before ``_times[0]`` is zero.
-    * ``_usage`` — one ``(cpu, memory, disk, bandwidth)`` tuple per
-      segment: the total demand booked over that segment.
+    * ``_cpu`` / ``_memory`` / ``_disk`` / ``_bandwidth`` — parallel
+      flat arrays, one scalar per segment: the total demand booked
+      over that segment, per component. Flat columns keep the probe
+      path allocation-free — a point query indexes four floats, a
+      window peak is a builtin ``max`` over four list slices — where
+      per-segment tuples forced a Python-level unpack per segment.
 
     ``_boundary_refs`` counts how many entry endpoints sit on each
     boundary so boundaries disappear (and segments re-merge) exactly
@@ -88,7 +90,10 @@ class SlotTable:
         self._entries: Dict[int, SlotEntry] = {}
         self._entry_counter = itertools.count(1)
         self._times: List[float] = []
-        self._usage: List[Tuple[float, float, float, float]] = []
+        self._cpu: List[float] = []
+        self._memory: List[float] = []
+        self._disk: List[float] = []
+        self._bandwidth: List[float] = []
         self._boundary_refs: Dict[float, int] = {}
 
     # ------------------------------------------------------------------
@@ -105,7 +110,12 @@ class SlotTable:
         refs[time] = 1
         pos = bisect_left(self._times, time)
         self._times.insert(pos, time)
-        self._usage.insert(pos, self._usage[pos - 1] if pos else _ZERO_USAGE)
+        # A new boundary splits its segment: both halves start with the
+        # segment's current usage (zero before the first boundary).
+        self._cpu.insert(pos, self._cpu[pos - 1] if pos else 0.0)
+        self._memory.insert(pos, self._memory[pos - 1] if pos else 0.0)
+        self._disk.insert(pos, self._disk[pos - 1] if pos else 0.0)
+        self._bandwidth.insert(pos, self._bandwidth[pos - 1] if pos else 0.0)
 
     def _remove_boundary(self, time: float) -> None:
         """Drop one reference to ``time``, merging segments at zero."""
@@ -117,22 +127,44 @@ class SlotTable:
         del refs[time]
         pos = bisect_left(self._times, time)
         del self._times[pos]
-        del self._usage[pos]
+        del self._cpu[pos]
+        del self._memory[pos]
+        del self._disk[pos]
+        del self._bandwidth[pos]
 
     def _apply_delta(self, entry: SlotEntry, sign: float) -> None:
-        """Add ``sign *`` the entry's demand to every covered segment."""
+        """Add ``sign *`` the entry's demand to every covered segment.
+
+        Each component patches its own column, and all-zero components
+        (most bookings carry no disk demand, say) skip their column
+        entirely. Accumulation order per segment is unchanged from the
+        tuple-based profile, so sums stay bit-identical.
+        """
         times = self._times
         lo = bisect_left(times, entry.start)
         hi = bisect_left(times, entry.end)
         demand = entry.demand
-        d0 = sign * demand.cpu
-        d1 = sign * demand.memory_mb
-        d2 = sign * demand.disk_mb
-        d3 = sign * demand.bandwidth_mbps
-        usage = self._usage
-        for index in range(lo, hi):
-            u = usage[index]
-            usage[index] = (u[0] + d0, u[1] + d1, u[2] + d2, u[3] + d3)
+        span = range(lo, hi)
+        d = sign * demand.cpu
+        if d:
+            col = self._cpu
+            for index in span:
+                col[index] += d
+        d = sign * demand.memory_mb
+        if d:
+            col = self._memory
+            for index in span:
+                col[index] += d
+        d = sign * demand.disk_mb
+        if d:
+            col = self._disk
+            for index in span:
+                col[index] += d
+        d = sign * demand.bandwidth_mbps
+        if d:
+            col = self._bandwidth
+            for index in span:
+                col[index] += d
 
     def _index_entry(self, entry: SlotEntry) -> None:
         self._insert_boundary(entry.start)
@@ -185,8 +217,8 @@ class SlotTable:
         index = bisect_right(self._times, time) - 1
         if index < 0:
             return ResourceVector.zero()
-        u = self._usage[index]
-        return ResourceVector(u[0], u[1], u[2], u[3])
+        return ResourceVector(self._cpu[index], self._memory[index],
+                              self._disk[index], self._bandwidth[index])
 
     def usage_profile(self) -> List[Tuple[float, float, ResourceVector]]:
         """The piecewise-constant profile as ``(start, end, usage)``.
@@ -199,8 +231,9 @@ class SlotTable:
         profile = []
         for index, start in enumerate(times):
             end = times[index + 1] if index + 1 < len(times) else FOREVER
-            u = self._usage[index]
-            profile.append((start, end, ResourceVector(u[0], u[1], u[2], u[3])))
+            profile.append((start, end, ResourceVector(
+                self._cpu[index], self._memory[index], self._disk[index],
+                self._bandwidth[index])))
         return profile
 
     def peak_usage(self, start: float, end: float) -> ResourceVector:
@@ -208,7 +241,10 @@ class SlotTable:
 
         A range-max over the segments the window overlaps: usage only
         rises at reservation starts, so the segment maxima are exactly
-        the event-point samples the naive scan takes.
+        the event-point samples the naive scan takes. Each component is
+        a builtin ``max`` over a contiguous slice of its flat column —
+        no per-segment Python objects on the probe path. Peaks clamp at
+        zero, matching the naive scan's zero-initialized fold.
         """
         times = self._times
         if not times or end <= start:
@@ -221,17 +257,15 @@ class SlotTable:
         lo = bisect_right(times, start) - 1
         if lo < 0:
             lo = 0
-        peak0 = peak1 = peak2 = peak3 = 0.0
-        for u in self._usage[lo:hi + 1]:
-            if u[0] > peak0:
-                peak0 = u[0]
-            if u[1] > peak1:
-                peak1 = u[1]
-            if u[2] > peak2:
-                peak2 = u[2]
-            if u[3] > peak3:
-                peak3 = u[3]
-        return ResourceVector(peak0, peak1, peak2, peak3)
+        hi += 1
+        peak0 = max(self._cpu[lo:hi])
+        peak1 = max(self._memory[lo:hi])
+        peak2 = max(self._disk[lo:hi])
+        peak3 = max(self._bandwidth[lo:hi])
+        return ResourceVector(peak0 if peak0 > 0.0 else 0.0,
+                              peak1 if peak1 > 0.0 else 0.0,
+                              peak2 if peak2 > 0.0 else 0.0,
+                              peak3 if peak3 > 0.0 else 0.0)
 
     def available(self, start: float, end: float) -> ResourceVector:
         """Capacity not yet booked anywhere in ``[start, end)``."""

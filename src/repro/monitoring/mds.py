@@ -48,6 +48,15 @@ class InformationService:
         """Remove a sensor (history is kept)."""
         self._sensors.pop(name, None)
 
+    def has_sensor(self, name: str) -> bool:
+        """Whether a sensor is registered under ``name``.
+
+        The O(1) membership probe: session attach runs once per
+        admission, so globbing every registered name there would put
+        an O(total sensors) scan on the admission hot path.
+        """
+        return name in self._sensors
+
     def sensor_names(self, pattern: str = "*") -> List[str]:
         """Registered sensor names matching a glob pattern."""
         return sorted(name for name in self._sensors

@@ -94,7 +94,7 @@ class SlaVerifier:
 
     def attach_sensor(self, sla_id: int, sensor: Sensor) -> None:
         """Associate a sensor with a session (registers it in MDS)."""
-        if sensor.name not in self._mds.sensor_names():
+        if not self._mds.has_sensor(sensor.name):
             self._mds.register(sensor)
         self._session_sensors.setdefault(sla_id, []).append(sensor.name)
 

@@ -24,8 +24,6 @@ from ..sim.trace import TraceRecorder
 from ..telemetry import Telemetry
 from .topology import Link, Topology
 
-_flow_counter = itertools.count(1)
-
 
 @dataclass(frozen=True)
 class NetworkMeasurement:
@@ -109,6 +107,10 @@ class NetworkResourceManager:
         self._trace = trace
         self._tables: Dict[Tuple[str, str], SlotTable] = {}
         self._flows: Dict[int, FlowAllocation] = {}
+        # Per-domain flow numbering (like per-table slot-entry ids):
+        # two testbeds built in one process assign identical flow ids,
+        # so journal payloads are comparable across runs.
+        self._flow_ids = itertools.count(1)
         self._listeners: List[DegradationListener] = []
         #: Optional telemetry hub; ``None`` keeps allocation untouched.
         self.telemetry: Optional[Telemetry] = None
@@ -246,7 +248,7 @@ class NetworkResourceManager:
                 self._table(link).release(entry)
             raise
         flow = FlowAllocation(
-            flow_id=next(_flow_counter), source=source,
+            flow_id=next(self._flow_ids), source=source,
             destination=destination, bandwidth_mbps=bandwidth_mbps,
             links=list(links), entries=booked, start=start, end=end)
         self._flows[flow.flow_id] = flow

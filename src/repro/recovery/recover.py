@@ -593,6 +593,11 @@ def recover(testbed, *, journal: Optional[Journal] = None,
         broker._on_window_end(sla_id)  # noqa: SLF001
 
     metrics = broker.metrics
+    # The active-sessions gauge is maintained incrementally on the
+    # admission path; replay restores ACTIVE sessions without passing
+    # through the activation hook, so re-seed it absolutely here.
+    metrics.gauge("repro_sla_active_sessions").set(
+        float(len(broker.repository.active())))
     metrics.counter("repro_recovery_runs_total").inc()
     metrics.counter("repro_recovery_slas_restored").inc(
         float(report.slas_restored))

@@ -79,6 +79,10 @@ class ComputeResourceManager:
                             confirm_timeout=confirm_timeout, trace=trace)
         self.dsrt = DsrtScheduler(node_count=machine.grid_nodes)
         self._jobs: Dict[int, Job] = {}
+        #: handle.value -> job_id for RUNNING jobs; reservation_bind
+        #: rejects double-binding, so at most one job runs per handle
+        #: and ``running_job_for`` stays O(1) at any fleet size.
+        self._running_by_handle: Dict[int, int] = {}
         self._pid_counter = itertools.count(10_000)
         self._capacity_listeners: List[CapacityChangeListener] = []
         self._job_end_listeners: List[JobEndListener] = []
@@ -155,6 +159,7 @@ class ComputeResourceManager:
                   service_name=service_name, handle=handle,
                   started_at=self._sim.now)
         self._jobs[job.job_id] = job
+        self._running_by_handle[handle.value] = job.job_id
         if dsrt_fraction is not None:
             nodes = max(1, int(reservation.demand.cpu))
             self.dsrt.reserve(dsrt_fraction, nodes=nodes,
@@ -192,6 +197,8 @@ class ComputeResourceManager:
             listener(job)
 
     def _teardown(self, job: Job) -> None:
+        if self._running_by_handle.get(job.handle.value) == job.job_id:
+            del self._running_by_handle[job.handle.value]
         reservation = self.gara.reservation_status(job.handle)
         if reservation.state.is_live:
             self.gara.reservation_cancel(job.handle)
@@ -271,11 +278,11 @@ class ComputeResourceManager:
         instead of double-launching a second process against the same
         reservation.
         """
-        for job in self._jobs.values():
-            if (job.state is JobState.RUNNING
-                    and job.handle.value == handle.value):
-                return job
-        return None
+        job_id = self._running_by_handle.get(handle.value)
+        if job_id is None:
+            return None
+        job = self._jobs[job_id]
+        return job if job.state is JobState.RUNNING else None
 
     def _record(self, message: str) -> None:
         if self._trace is not None:

@@ -88,6 +88,10 @@ class DsrtScheduler:
         self.min_fraction = min_fraction
         self.window = window
         self._contracts: Dict[int, DsrtContract] = {}
+        # Running sum of reserved node-equivalents: admission-rate
+        # callers probe free_capacity() per reserve, so a fresh
+        # sum() here would be O(live contracts) on the hot path.
+        self._reserved = 0.0
 
     # ------------------------------------------------------------------
     # Contract management
@@ -95,7 +99,7 @@ class DsrtScheduler:
 
     def reserved_total(self) -> float:
         """Total reserved node-equivalents across live contracts."""
-        return sum(c.reserved_capacity for c in self._contracts.values())
+        return self._reserved
 
     def free_capacity(self) -> float:
         """Unreserved node-equivalents."""
@@ -126,6 +130,7 @@ class DsrtScheduler:
         contract = DsrtContract(pid=pid, service_class=service_class,
                                 reserved_fraction=fraction, nodes=nodes)
         self._contracts[pid] = contract
+        self._reserved += contract.reserved_capacity
         return contract
 
     def release(self, pid: int) -> None:
@@ -134,9 +139,14 @@ class DsrtScheduler:
         Raises:
             ResourceError: When the pid holds no contract.
         """
-        if pid not in self._contracts:
+        contract = self._contracts.pop(pid, None)
+        if contract is None:
             raise ResourceError(f"pid {pid} holds no DSRT contract")
-        del self._contracts[pid]
+        self._reserved -= contract.reserved_capacity
+        if not self._contracts:
+            # Pin the running sum back to exactly zero so float dust
+            # from release order can never accumulate across epochs.
+            self._reserved = 0.0
 
     def contract(self, pid: int) -> DsrtContract:
         """The live contract for ``pid``."""
@@ -190,6 +200,8 @@ class DsrtScheduler:
                     continue
                 allowed = min(grow, slack) / contract.nodes
                 target = contract.reserved_fraction + allowed
+            self._reserved += (target
+                               - contract.reserved_fraction) * contract.nodes
             contract.reserved_fraction = target
             changes[pid] = target
         return changes

@@ -105,13 +105,14 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         processed = 0
+        queue = self._queue
         try:
-            while len(self._queue) > 0:
-                next_time = self._queue.peek_time()
+            while len(queue) > 0:
+                next_time = queue.peek_time()
                 assert next_time is not None
                 if until is not None and next_time > until:
                     break
-                event = self._queue.pop()
+                event = queue.pop()
                 self._now = event.time
                 if self.trace is not None and event.label:
                     self.trace.record(self._now, "event", event.label)

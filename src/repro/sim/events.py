@@ -4,14 +4,20 @@ Events are ordered by ``(time, priority, sequence)``: earlier times
 first, then lower priority numbers, then insertion order. The sequence
 tiebreak makes simulations fully deterministic — two events scheduled
 for the same instant always fire in the order they were scheduled.
+
+The heap itself holds flat ``(time, priority, seq)`` tuples, not
+:class:`Event` objects: tuple comparisons run at C speed and the sift
+operations never call back into Python, which matters when the broker
+schedules tens of thousands of window-end events. The ``seq`` component
+keys a side table mapping back to the :class:`Event` handle; cancelling
+an event removes it from the side table, so dead heap entries are
+discarded on pop/peek without touching the handle again.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -23,7 +29,6 @@ PRIORITY_HIGH = -10
 PRIORITY_LOW = 10
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
@@ -33,33 +38,59 @@ class Event:
         seq: Insertion sequence number (engine-assigned tiebreak).
         action: Zero-argument callable run when the event fires.
         label: Human-readable tag for traces and debugging.
+        cancelled: Whether the event was cancelled before firing.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], Any]
-    label: str = ""
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 action: Callable[[], Any], label: str = "",
+                 cancelled: bool = False) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped."""
         self.cancelled = True
 
     @property
-    def sort_key(self) -> "tuple[float, int, int]":
+    def sort_key(self) -> "Tuple[float, int, int]":
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key < other.sort_key
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.sort_key == other.sort_key
+                and self.action == other.action
+                and self.label == other.label)
+
+    def __repr__(self) -> str:
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, action={self.action!r}, "
+                f"label={self.label!r}, cancelled={self.cancelled!r})")
+
 
 class EventQueue:
-    """A binary-heap event queue with lazy cancellation."""
+    """A binary-heap event queue with lazy cancellation.
+
+    The heap stores bare ``(time, priority, seq)`` tuples; ``_events``
+    maps each live ``seq`` to its :class:`Event`. Cancellation removes
+    the side-table entry and leaves the tuple in the heap — pop and
+    peek skip tuples whose ``seq`` is no longer mapped (or whose event
+    was cancelled directly via :meth:`Event.cancel`).
+    """
 
     def __init__(self) -> None:
-        self._heap: "list[Event]" = []
-        self._counter = itertools.count()
+        self._heap: "List[Tuple[float, int, int]]" = []
+        self._events: "Dict[int, Event]" = {}
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -69,9 +100,11 @@ class EventQueue:
     def push(self, time: float, action: Callable[[], Any], *,
              priority: int = PRIORITY_NORMAL, label: str = "") -> Event:
         """Schedule ``action`` at ``time`` and return the event handle."""
-        event = Event(time=time, priority=priority,
-                      seq=next(self._counter), action=action, label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, action, label)
+        self._events[seq] = event
+        heapq.heappush(self._heap, (time, priority, seq))
         self._live += 1
         return event
 
@@ -79,6 +112,7 @@ class EventQueue:
         """Cancel a scheduled event (no-op if already cancelled)."""
         if not event.cancelled:
             event.cancel()
+            self._events.pop(event.seq, None)
             self._live -= 1
 
     def pop(self) -> Event:
@@ -87,9 +121,12 @@ class EventQueue:
         Raises:
             SimulationError: If the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        events = self._events
+        while heap:
+            seq = heapq.heappop(heap)[2]
+            event = events.pop(seq, None)
+            if event is None or event.cancelled:
                 continue
             self._live -= 1
             return event
@@ -97,8 +134,14 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        events = self._events
+        while heap:
+            head = heap[0]
+            event = events.get(head[2])
+            if event is not None and not event.cancelled:
+                return head[0]
+            heapq.heappop(heap)
+            if event is not None:
+                del events[head[2]]
+        return None
