@@ -1,0 +1,136 @@
+"""X7 — the workload atlas: reserve sizing across scenario families.
+
+X3 sized the adaptive reserve against synthetic non-overlapping
+failure episodes on one workload shape. The atlas generalizes the
+question: with the paper's partition (``Cg + Ca = 21``, ``Cb = 5``)
+fixed in total, how does the ``Cg``/``Ca`` split trade guaranteed
+acceptance against violation time under *each* traffic family —
+diurnal swings, flash crowds, heavy tails, tenant mixes, correlated
+rack outages and best-effort floods?
+
+Two measurement layers per scenario:
+
+* an **Algorithm-1 policy sweep** (fast path, `run_policy_workload`)
+  over ``Ca ∈ {0, 2, 4, 6, 8}`` with the scenario's own compiled
+  sessions and failure timeline;
+* one **full-stack replay headline** (broker, batched admission,
+  telemetry, verifier) at the atlas seed, whose invariants the
+  regression suite already pins.
+
+Artifact: ``BENCH_workload_atlas.json``. Reduced mode for check.sh:
+``BENCH_ATLAS_SMOKE=1`` sweeps two scenarios at two reserve points,
+asserts the schema and the zero-guaranteed-violation invariant, and
+writes nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines import AdaptivePolicy
+from repro.experiments.harness import run_policy_workload
+from repro.experiments.reporting import format_table
+from repro.workloads import (DEFAULT_SEED, check_invariants,
+                             replay_scenario, scenario_names, scenarios)
+
+from .conftest import report, write_artifact
+
+SMOKE = os.environ.get("BENCH_ATLAS_SMOKE") == "1"
+
+#: Cg + Ca = 21 fixed, Cb = 5 — the X3 frame, per scenario family.
+RESERVES = (0, 6) if SMOKE else (0, 2, 4, 6, 8)
+
+SMOKE_SCENARIOS = ("flash_crowd_release", "rack_failure_cascade")
+
+REPLAY_HEADLINE_KEYS = (
+    "family", "sessions", "offered_load", "guaranteed_accepted",
+    "guaranteed_requests", "controlled_accepted", "controlled_requests",
+    "best_effort_granted", "best_effort_requests",
+    "violations_detected", "guaranteed_violations", "restorations",
+    "degraded_sessions", "terminated_sessions", "utilization_mean",
+    "revenue")
+
+
+def atlas_specs():
+    if SMOKE:
+        return tuple(spec for spec in scenarios()
+                     if spec.name in SMOKE_SCENARIOS)
+    return scenarios()
+
+
+def sweep_scenario(spec):
+    """The Ca sweep for one scenario on the policy fast path."""
+    compiled = spec.compile(DEFAULT_SEED)
+    failures = [(time, float(delta))
+                for time, delta in compiled.failure_events]
+    points = {}
+    for ca in RESERVES:
+        cg = 21 - ca
+        policy = AdaptivePolicy(cg, ca, 5, best_effort_min=2)
+        result = run_policy_workload(policy, compiled.workload,
+                                     failures=failures)
+        points[ca] = {
+            "cg": cg,
+            "guaranteed_acceptance":
+                round(result.guaranteed_acceptance, 6),
+            "violation_time_fraction":
+                round(result.violation_time_fraction, 6),
+            "mean_utilization": round(result.mean_utilization, 6),
+            "revenue": round(result.revenue, 6),
+        }
+    return compiled, points
+
+
+def test_x7_atlas_reserve_sizing():
+    sweeps = {}
+    replays = {}
+    rows = []
+    for spec in atlas_specs():
+        compiled, points = sweep_scenario(spec)
+        sweeps[spec.name] = points
+        replay = replay_scenario(spec, seed=DEFAULT_SEED)
+        assert check_invariants(replay) == [], \
+            f"{spec.name} broke its invariants in the benchmark replay"
+        replays[spec.name] = {
+            key: replay.report[key] for key in REPLAY_HEADLINE_KEYS}
+        replays[spec.name]["workload_fingerprint"] = \
+            replay.report["workload_fingerprint"]
+        for ca in RESERVES:
+            rows.append([spec.name, 21 - ca, ca,
+                         points[ca]["guaranteed_acceptance"],
+                         points[ca]["violation_time_fraction"]])
+
+    report("X7 — reserve sizing across the workload atlas "
+           "(Cg + Ca = 21 fixed)",
+           format_table(["scenario", "Cg", "Ca", "acc(G)", "viol-frac"],
+                        rows))
+
+    # Schema and invariant assertions (also the smoke contract).
+    for name, points in sweeps.items():
+        for ca, point in points.items():
+            assert 0.0 <= point["guaranteed_acceptance"] <= 1.0
+            assert 0.0 <= point["violation_time_fraction"] <= 1.0
+    for name, headline in replays.items():
+        assert headline["sessions"] > 0
+        spec = next(s for s in atlas_specs() if s.name == name)
+        if not spec.has_failures:
+            # The atlas's core QoS claim: absent injected failures no
+            # guaranteed SLA is ever violated, at any reserve split on
+            # the full stack's own partition.
+            assert headline["guaranteed_violations"] == 0
+
+    if SMOKE:
+        return
+    # The correlated-failure family must show the X3 trade-off: a
+    # bigger reserve strictly helps when the outage exceeds it.
+    cascade = sweeps["rack_failure_cascade"]
+    assert cascade[0]["violation_time_fraction"] >= \
+        cascade[8]["violation_time_fraction"] - 1e-9
+
+    write_artifact("BENCH_workload_atlas.json", {
+        "seed": DEFAULT_SEED,
+        "reserves": list(RESERVES),
+        "scenarios": list(scenario_names()),
+        "reserve_sweep": sweeps,
+        "replay_headlines": replays,
+    })

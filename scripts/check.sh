@@ -52,3 +52,13 @@ diff "$cr_a" "$cr_b" > /dev/null || {
     echo "crash-recovery report is not deterministic" >&2; exit 1; }
 rm -f "$cr_a" "$cr_b"
 echo "crash-recovery smoke OK (deterministic)"
+
+echo "== workload-atlas smoke (reduced sweep) =="
+# Two-scenario, two-reserve-point pass over the atlas benchmark:
+# asserts the BENCH_workload_atlas.json schema and that no guaranteed
+# SLA violates absent injected failures. The full five-point sweep
+# over all six families stays manual:
+#   python -m pytest benchmarks/bench_workload_atlas.py -s
+BENCH_ATLAS_SMOKE=1 python -m pytest \
+    benchmarks/bench_workload_atlas.py -q > /dev/null
+echo "workload-atlas smoke OK (invariants hold)"

@@ -608,10 +608,23 @@ class AQoSBroker:
             if surviving is not None:
                 resources.job = surviving
             else:
-                resources.job = self.compute_rm.launch(
-                    sla.service_name, composite.compute_handle,
-                    duration=sla.end - self.sim.now,
-                    dsrt_fraction=0.8)
+                try:
+                    resources.job = self.compute_rm.launch(
+                        sla.service_name, composite.compute_handle,
+                        duration=sla.end - self.sim.now,
+                        dsrt_fraction=0.8)
+                except CapacityError:
+                    # The CPU scheduler is saturated even though the
+                    # slot table admitted the booking (contracts only
+                    # approximate bookings: integer nodes, clamped
+                    # growth). The reservation is what was sold — run
+                    # the job without a DSRT contract rather than
+                    # breaking an established SLA.
+                    resources.job = self.compute_rm.launch(
+                        sla.service_name, composite.compute_handle,
+                        duration=sla.end - self.sim.now)
+                    self.record(f"SLA {sla_id}: DSRT saturated; job "
+                                f"launched without a CPU contract")
         sla.activate()
         self._journal_sla(sla)
 
@@ -824,6 +837,9 @@ class AQoSBroker:
             if composite is not None and composite.compute_handle is not None:
                 self.reservation_system.modify_compute(composite, demand,
                                                        force=True)
+                if resources.job is not None:
+                    self.compute_rm.resize_job_contract(resources.job,
+                                                        demand.cpu)
             if composite is not None and composite.network_booking is not None:
                 self._resize_network(composite, point)
         new_rate = self.pricing.point_rate(point, sla.service_class)

@@ -171,6 +171,23 @@ class ComputeResourceManager:
                      f"(job {job.job_id}, reservation {handle})")
         return job
 
+    def resize_job_contract(self, job: Job, cpu_nodes: float) -> None:
+        """Align a running job's DSRT contract with a resized booking.
+
+        Called when broker-level adaptation moves a session's
+        delivered point: the GARA reservation was already resized, and
+        without this the CPU scheduler keeps the launch-time contract
+        forever — squeezed sessions then strand DSRT capacity that the
+        slot table shows as free, until a later launch dies on a
+        phantom :class:`~repro.errors.CapacityError`.
+        """
+        if job.state is not JobState.RUNNING:
+            return
+        try:
+            self.dsrt.resize(job.pid, nodes=max(1, int(cpu_nodes)))
+        except ResourceError:
+            pass  # job runs without a DSRT contract
+
     def _complete(self, job_id: int) -> None:
         job = self._jobs.get(job_id)
         if job is None or job.state is not JobState.RUNNING:

@@ -148,6 +148,38 @@ class DsrtScheduler:
             # from release order can never accumulate across epochs.
             self._reserved = 0.0
 
+    def resize(self, pid: int, *, nodes: Optional[int] = None,
+               fraction: Optional[float] = None) -> DsrtContract:
+        """Resize a live contract in place.
+
+        Keeps the scheduler's running reserved sum aligned when the
+        broker moves a session's delivered operating point (the GARA
+        booking is resized there; this is the CPU-scheduler side of
+        the same move). Shrinking always succeeds; growth is clamped
+        to free capacity — a partially grown soft-real-time contract
+        still schedules, and the slot table stays authoritative for
+        what was sold.
+
+        Raises:
+            ResourceError: When the pid holds no contract or the
+                arguments are malformed.
+        """
+        contract = self.contract(pid)
+        new_nodes = contract.nodes if nodes is None else nodes
+        new_fraction = (contract.reserved_fraction if fraction is None
+                        else fraction)
+        if new_nodes < 1:
+            raise ResourceError(f"nodes must be >= 1: {new_nodes}")
+        if not 0.0 < new_fraction <= 1.0:
+            raise ResourceError(
+                f"fraction must be in (0, 1]: {new_fraction}")
+        ceiling = contract.reserved_capacity + self.free_capacity()
+        target = min(new_fraction * new_nodes, ceiling)
+        self._reserved += target - contract.reserved_capacity
+        contract.nodes = new_nodes
+        contract.reserved_fraction = target / new_nodes
+        return contract
+
     def contract(self, pid: int) -> DsrtContract:
         """The live contract for ``pid``."""
         found = self._contracts.get(pid)

@@ -1,0 +1,193 @@
+"""Arrival processes for the workload atlas.
+
+The seed workload drew homogeneous Poisson arrivals. The atlas needs
+time-varying offered load — diurnal sinusoids and flash-crowd bursts —
+so arrivals generalise to a *rate function* ``rate_at(t)`` sampled by
+Lewis–Shedler thinning: candidate arrivals are drawn homogeneously at
+the peak rate and each candidate at time ``t`` is kept with
+probability ``rate_at(t) / peak_rate``. The construction guarantees
+the realised process never exceeds the peak-rate envelope, and every
+draw flows through the seeded :class:`~repro.sim.random.RandomSource`,
+so a scenario is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..errors import ValidationError
+from ..sim.random import RandomSource
+
+__all__ = [
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "sample_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class ConstantRate:
+    """Homogeneous Poisson arrivals: the seed generator's process.
+
+    Attributes:
+        rate: Mean arrivals per time unit.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValidationError(f"rate must be positive: {self.rate}")
+
+    @property
+    def peak_rate(self) -> float:
+        """The thinning envelope (here the rate itself)."""
+        return self.rate
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at ``time``."""
+        return self.rate
+
+    def scaled(self, *, time_factor: float = 1.0,
+               rate_factor: float = 1.0) -> "ConstantRate":
+        """A copy with time compressed and/or the rate rescaled."""
+        _check_factors(time_factor, rate_factor)
+        return replace(self, rate=self.rate * rate_factor)
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """Sinusoidal day/night traffic (non-homogeneous Poisson).
+
+    ``rate_at(t) = base_rate * (1 + amplitude * sin(2π (t + phase) /
+    period))``: one full cycle per ``period``, peaking at ``base_rate *
+    (1 + amplitude)``.
+
+    Attributes:
+        base_rate: Mean arrivals per time unit over a full cycle.
+        amplitude: Relative swing in ``[0, 1)`` (1 would zero the
+            trough and make the acceptance ratio degenerate).
+        period: Cycle length ("one day").
+        phase: Time offset of the cycle start.
+    """
+
+    base_rate: float
+    amplitude: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValidationError(
+                f"base_rate must be positive: {self.base_rate}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValidationError(
+                f"amplitude must be in [0, 1): {self.amplitude}")
+        if self.period <= 0:
+            raise ValidationError(f"period must be positive: {self.period}")
+
+    @property
+    def peak_rate(self) -> float:
+        """The crest of the sinusoid (the thinning envelope)."""
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at ``time``."""
+        angle = 2.0 * math.pi * (time + self.phase) / self.period
+        return self.base_rate * (1.0 + self.amplitude * math.sin(angle))
+
+    def scaled(self, *, time_factor: float = 1.0,
+               rate_factor: float = 1.0) -> "DiurnalRate":
+        """A copy with the cycle compressed and/or the rate rescaled."""
+        _check_factors(time_factor, rate_factor)
+        return replace(self, base_rate=self.base_rate * rate_factor,
+                       period=self.period * time_factor,
+                       phase=self.phase * time_factor)
+
+
+@dataclass(frozen=True)
+class FlashCrowdRate:
+    """Baseline traffic with multiplicative burst windows.
+
+    Attributes:
+        base_rate: Arrivals per time unit outside every burst.
+        bursts: ``(start, end, multiplier)`` windows; inside a window
+            the rate is ``base_rate * multiplier``. Overlapping windows
+            take the largest multiplier (crowds compound into the
+            biggest spike, they do not stack additively).
+    """
+
+    base_rate: float
+    bursts: "Tuple[Tuple[float, float, float], ...]"
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValidationError(
+                f"base_rate must be positive: {self.base_rate}")
+        if not self.bursts:
+            raise ValidationError("a flash crowd needs at least one burst")
+        for start, end, multiplier in self.bursts:
+            if end <= start:
+                raise ValidationError(
+                    f"empty burst window: ({start}, {end})")
+            if multiplier < 1.0:
+                raise ValidationError(
+                    f"burst multiplier must be >= 1: {multiplier}")
+
+    @property
+    def peak_rate(self) -> float:
+        """Baseline scaled by the largest burst multiplier."""
+        return self.base_rate * max(item[2] for item in self.bursts)
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate at ``time``."""
+        multiplier = 1.0
+        for start, end, burst_multiplier in self.bursts:
+            if start <= time < end and burst_multiplier > multiplier:
+                multiplier = burst_multiplier
+        return self.base_rate * multiplier
+
+    def scaled(self, *, time_factor: float = 1.0,
+               rate_factor: float = 1.0) -> "FlashCrowdRate":
+        """A copy with burst windows compressed and rate rescaled."""
+        _check_factors(time_factor, rate_factor)
+        return replace(
+            self, base_rate=self.base_rate * rate_factor,
+            bursts=tuple((start * time_factor, end * time_factor,
+                          multiplier)
+                         for start, end, multiplier in self.bursts))
+
+
+def sample_arrivals(process, horizon: float,
+                    rng: RandomSource) -> List[float]:
+    """Draw one arrival-time realisation of ``process`` over
+    ``[0, horizon)`` by thinning.
+
+    Candidates are homogeneous at ``process.peak_rate``; a candidate at
+    ``t`` survives with probability ``rate_at(t) / peak_rate``. Exactly
+    two RNG draws happen per candidate (one gap, one acceptance), so
+    the realisation is byte-stable under refactors that do not change
+    the draw count.
+    """
+    if horizon <= 0:
+        raise ValidationError(f"horizon must be positive: {horizon}")
+    peak = process.peak_rate
+    arrivals: List[float] = []
+    time = 0.0
+    while True:
+        time += rng.exponential(1.0 / peak)
+        if time >= horizon:
+            return arrivals
+        acceptance = process.rate_at(time) / peak
+        if rng.probability(min(1.0, max(0.0, acceptance))):
+            arrivals.append(time)
+
+
+def _check_factors(time_factor: float, rate_factor: float) -> None:
+    if time_factor <= 0 or rate_factor <= 0:
+        raise ValidationError(
+            f"scaling factors must be positive: "
+            f"time={time_factor}, rate={rate_factor}")

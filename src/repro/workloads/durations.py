@@ -1,0 +1,147 @@
+"""Session-duration models for the workload atlas.
+
+The seed generator drew exponential durations only. Real grid sessions
+are heavy-tailed — most are short, a few run for a large multiple of
+the median — which stresses Algorithm 1 differently: a long-lived
+guaranteed session pins its capacity across many failure episodes.
+The atlas therefore offers exponential, lognormal and (optionally
+capped) Pareto duration models behind one ``sample(rng)`` interface.
+
+Every model floors its samples at ``MIN_DURATION`` (matching the seed
+generator) and reports an analytic ``mean()`` so offered-load scaling
+stays closed-form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import ValidationError
+from ..sim.random import RandomSource
+
+__all__ = [
+    "MIN_DURATION",
+    "ExponentialDuration",
+    "LognormalDuration",
+    "ParetoDuration",
+]
+
+#: Shortest session the generators emit (the seed generator's floor).
+MIN_DURATION = 1.0
+
+
+@dataclass(frozen=True)
+class ExponentialDuration:
+    """Memoryless durations: the seed generator's model.
+
+    Attributes:
+        mean_duration: Mean session length.
+    """
+
+    mean_duration: float
+
+    def __post_init__(self) -> None:
+        if self.mean_duration <= 0:
+            raise ValidationError(
+                f"mean_duration must be positive: {self.mean_duration}")
+
+    def mean(self) -> float:
+        """Analytic mean (ignoring the floor, like the seed model)."""
+        return self.mean_duration
+
+    def sample(self, rng: RandomSource) -> float:
+        """One session duration."""
+        return max(MIN_DURATION, rng.exponential(self.mean_duration))
+
+    def scaled(self, *, time_factor: float = 1.0) -> "ExponentialDuration":
+        """A copy with durations compressed by ``time_factor``."""
+        _check_time_factor(time_factor)
+        return replace(self,
+                       mean_duration=self.mean_duration * time_factor)
+
+
+@dataclass(frozen=True)
+class LognormalDuration:
+    """Lognormal durations: moderate heavy tail, finite variance.
+
+    ``duration = median * exp(sigma * N(0, 1))``.
+
+    Attributes:
+        median: The distribution median (``exp(mu)``).
+        sigma: Log-space standard deviation; larger means heavier tail.
+    """
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValidationError(f"median must be positive: {self.median}")
+        if self.sigma <= 0:
+            raise ValidationError(f"sigma must be positive: {self.sigma}")
+
+    def mean(self) -> float:
+        """Analytic mean ``median * exp(sigma² / 2)``."""
+        return self.median * math.exp(self.sigma * self.sigma / 2.0)
+
+    def sample(self, rng: RandomSource) -> float:
+        """One session duration."""
+        draw = self.median * math.exp(rng.normal(0.0, self.sigma))
+        return max(MIN_DURATION, draw)
+
+    def scaled(self, *, time_factor: float = 1.0) -> "LognormalDuration":
+        """A copy with durations compressed by ``time_factor``."""
+        _check_time_factor(time_factor)
+        return replace(self, median=self.median * time_factor)
+
+
+@dataclass(frozen=True)
+class ParetoDuration:
+    """Pareto durations: the classic heavy tail.
+
+    Attributes:
+        shape: Tail index; must exceed 1 so the mean is finite.
+        scale: Minimum of the (uncapped) distribution.
+        cap: Optional hard upper bound — keeps a single draw from
+            outliving the scenario horizon many times over.
+    """
+
+    shape: float
+    scale: float
+    cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shape <= 1.0:
+            raise ValidationError(
+                f"shape must exceed 1 for a finite mean: {self.shape}")
+        if self.scale <= 0:
+            raise ValidationError(f"scale must be positive: {self.scale}")
+        if self.cap is not None and self.cap <= self.scale:
+            raise ValidationError(
+                f"cap {self.cap} must exceed scale {self.scale}")
+
+    def mean(self) -> float:
+        """Analytic uncapped mean ``shape * scale / (shape - 1)``."""
+        return self.shape * self.scale / (self.shape - 1.0)
+
+    def sample(self, rng: RandomSource) -> float:
+        """One session duration."""
+        draw = rng.pareto(self.shape, self.scale)
+        if self.cap is not None and draw > self.cap:
+            draw = self.cap
+        return max(MIN_DURATION, draw)
+
+    def scaled(self, *, time_factor: float = 1.0) -> "ParetoDuration":
+        """A copy with durations compressed by ``time_factor``."""
+        _check_time_factor(time_factor)
+        return replace(self, scale=self.scale * time_factor,
+                       cap=None if self.cap is None
+                       else self.cap * time_factor)
+
+
+def _check_time_factor(time_factor: float) -> None:
+    if time_factor <= 0:
+        raise ValidationError(
+            f"time_factor must be positive: {time_factor}")

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..qos.classes import ServiceClass
 from ..errors import ValidationError
@@ -73,12 +74,45 @@ class Workload:
     sessions: "Tuple[SessionSpec, ...]"
     horizon: float
 
+    def __post_init__(self) -> None:
+        # Per-class index, precomputed once so by_class() is a lookup
+        # rather than a rescan of the whole session list per call.
+        # object.__setattr__ because the dataclass is frozen; the index
+        # is not a field, so equality/repr still compare sessions only.
+        index: "Dict[ServiceClass, List[SessionSpec]]" = {}
+        for session in self.sessions:
+            index.setdefault(session.service_class, []).append(session)
+        object.__setattr__(self, "_by_class",
+                           {cls: tuple(group)
+                            for cls, group in index.items()})
+
     def __len__(self) -> int:
         return len(self.sessions)
 
     def by_class(self, service_class: ServiceClass) -> List[SessionSpec]:
-        """Sessions of one class."""
-        return [s for s in self.sessions if s.service_class is service_class]
+        """Sessions of one class (precomputed index; O(matches))."""
+        return list(self._by_class.get(service_class, ()))
+
+    def fingerprint(self) -> str:
+        """A canonical sha256 of the whole workload.
+
+        Every field of every session enters the digest through
+        ``repr`` (shortest-roundtrip float formatting, stable across
+        processes and platforms for IEEE doubles), so two workloads
+        share a fingerprint exactly when they are byte-identical —
+        the cross-process determinism tests compare these.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.horizon).encode("ascii"))
+        for session in self.sessions:
+            row = (session.session_id, session.user,
+                   session.service_class.value, session.arrival,
+                   session.duration, session.cpu_floor, session.cpu_best,
+                   session.memory_mb, session.bandwidth_mbps,
+                   session.accept_degradation, session.accept_termination,
+                   session.accept_promotion)
+            digest.update(repr(row).encode("ascii"))
+        return digest.hexdigest()
 
     def offered_cpu_load(self, capacity: float) -> float:
         """Offered load ``ρ``: mean CPU-demand-time per unit capacity."""

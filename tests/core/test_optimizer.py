@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.core.optimizer import (
     candidates_for,
@@ -113,6 +113,7 @@ instance = st.lists(
 
 
 @settings(max_examples=50, deadline=None)
+@example(spans=[(1, 1), (1, 5)], capacity_cpu=5)  # greedy/exact = 0.6
 @given(instance, st.integers(min_value=5, max_value=40))
 def test_greedy_never_beats_exact_and_stays_feasible(spans, capacity_cpu):
     specs = [(low, low + extra) for low, extra in spans]
@@ -123,11 +124,35 @@ def test_greedy_never_beats_exact_and_stays_feasible(spans, capacity_cpu):
     if greedy.feasible and exact.feasible:
         assert greedy.revenue <= exact.revenue + 1e-9
         assert greedy.used.cpu <= capacity_cpu + 1e-9
-        # The paper's heuristic should be close to optimal on these
-        # small single-dimension instances.
-        assert greedy.revenue >= 0.8 * exact.revenue - 1e-9
+        # Greedy never does worse than leaving everyone at the floor.
+        floors = sum(levels[0].revenue_rate
+                     for levels in services.values())
+        assert greedy.revenue >= floors - 1e-9
     else:
         assert greedy.feasible == exact.feasible
+
+
+def test_greedy_is_near_optimal_on_a_fixed_battery():
+    """The §5.3 heuristic is myopic: a small high-ratio upgrade can
+    block a larger one (the pinned @example above reaches only 0.6 of
+    optimal), so a universal 0.8 bound is false. What holds — and what
+    the paper's revenue argument needs — is near-optimality in the
+    aggregate, checked here on a deterministic instance battery."""
+    shapes = [(1, 2), (1, 6), (2, 8), (1, 9), (3, 9), (4, 8)]
+    ratios = []
+    for first in shapes:
+        for second in shapes:
+            for capacity_cpu in (5, 8, 12, 20):
+                services = make_services([first, second])
+                capacity = ResourceVector(cpu=float(capacity_cpu))
+                greedy = greedy_optimize(services, capacity)
+                exact = exact_optimize(services, capacity)
+                if not (greedy.feasible and exact.feasible):
+                    continue
+                ratios.append(greedy.revenue / exact.revenue)
+    assert len(ratios) > 100
+    assert min(ratios) >= 0.5
+    assert sum(ratios) / len(ratios) >= 0.9
 
 
 @settings(max_examples=30, deadline=None)

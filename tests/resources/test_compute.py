@@ -146,3 +146,43 @@ class TestCapacityTracking:
     def test_utilization(self, rm):
         reserve(rm, cpu=13)
         assert rm.utilization() == pytest.approx(0.5)
+
+
+class TestContractResize:
+    def test_resize_job_contract_tracks_booking(self, rm):
+        handle = reserve(rm, cpu=10)
+        job = rm.launch("svc", handle, dsrt_fraction=0.8)
+        assert rm.dsrt.reserved_total() == pytest.approx(8.0)
+        rm.resize_job_contract(job, 4.0)
+        assert rm.dsrt.contract(job.pid).nodes == 4
+        assert rm.dsrt.reserved_total() == pytest.approx(3.2)
+
+    def test_resize_without_contract_is_a_noop(self, rm):
+        handle = reserve(rm, cpu=4)
+        job = rm.launch("svc", handle)  # no dsrt_fraction
+        rm.resize_job_contract(job, 2.0)  # must not raise
+        assert rm.dsrt.reserved_total() == 0.0
+
+    def test_resize_after_completion_is_a_noop(self, rm, sim):
+        handle = reserve(rm, cpu=4)
+        job = rm.launch("svc", handle, duration=5.0, dsrt_fraction=0.8)
+        sim.run(until=10.0)
+        assert job.state is JobState.COMPLETED
+        rm.resize_job_contract(job, 2.0)  # contract already released
+        assert rm.dsrt.reserved_total() == 0.0
+
+    def test_squeeze_then_launch_no_longer_strands_capacity(self, rm):
+        """The cross-layer drift the atlas exposed: a squeezed booking
+        must free DSRT capacity, or later launches die on a phantom
+        CapacityError while the slot table shows room."""
+        first = reserve(rm, cpu=24)
+        job = rm.launch("svc", first, dsrt_fraction=0.8)
+        assert rm.dsrt.free_capacity() == pytest.approx(26.0 - 19.2)
+        # The broker squeeze: booking 24 -> 4, contract follows.
+        rm.gara.reservation_modify(
+            first, ResourceVector(cpu=4, memory_mb=1024), force=True)
+        rm.resize_job_contract(job, 4.0)
+        second = reserve(rm, cpu=12)
+        other = rm.launch("svc2", second, dsrt_fraction=0.8)
+        assert other.state is JobState.RUNNING
+        assert rm.dsrt.reserved_total() == pytest.approx(3.2 + 9.6)

@@ -1,0 +1,120 @@
+"""Unit coverage for the atlas replay harness."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, Form
+from repro.workloads import check_invariants, replay_scenario
+from repro.workloads.arrivals import ConstantRate
+from repro.workloads.durations import ExponentialDuration
+from repro.workloads.replay import batch_schedule, request_for_session
+from repro.workloads.scenarios import ScenarioSpec, TenantProfile
+from repro.workloads.sessions import SessionSpec
+
+
+def tiny_scenario(horizon=60.0, rate=0.2):
+    return ScenarioSpec(
+        name="tiny", family="multi_tenant",
+        description="replay unit-test scenario", horizon=horizon,
+        tenants=(TenantProfile(
+            name="solo", arrivals=ConstantRate(rate=rate),
+            durations=ExponentialDuration(mean_duration=15.0)),))
+
+
+def session(service_class=ServiceClass.GUARANTEED, cpu_floor=2.0,
+            cpu_best=2.0, arrival=3.0, duration=10.0, **kwargs):
+    return SessionSpec(session_id=1, user="u-1",
+                       service_class=service_class, arrival=arrival,
+                       duration=duration, cpu_floor=cpu_floor,
+                       cpu_best=cpu_best, memory_mb=128.0, **kwargs)
+
+
+class TestRequestForSession:
+    def test_guaranteed_maps_to_exact_cpu(self):
+        request = request_for_session(session(), admit_at=5.0)
+        parameter = request.specification.get(Dimension.CPU)
+        assert parameter.form is Form.EXACT
+        assert request.start == 5.0
+        assert request.end == pytest.approx(15.0)
+
+    def test_controlled_range_maps_to_range_parameter(self):
+        request = request_for_session(
+            session(ServiceClass.CONTROLLED_LOAD, cpu_floor=2.0,
+                    cpu_best=6.0), admit_at=0.0)
+        parameter = request.specification.get(Dimension.CPU)
+        assert parameter.form is Form.RANGE
+        assert parameter.low == 2.0 and parameter.high == 6.0
+
+    def test_adaptation_flags_carried(self):
+        request = request_for_session(
+            session(ServiceClass.CONTROLLED_LOAD, cpu_floor=1.0,
+                    cpu_best=2.0, accept_degradation=True,
+                    accept_termination=True), admit_at=0.0)
+        assert request.adaptation.accept_degradation
+        assert request.adaptation.accept_termination
+        assert not request.adaptation.accept_promotion
+
+
+class TestBatchSchedule:
+    def test_epochs_are_causal(self):
+        compiled = tiny_scenario(horizon=100.0, rate=0.5).compile(3)
+        for admit_at, batch in batch_schedule(compiled, 5.0):
+            for member in batch:
+                assert member.arrival <= admit_at + 1e-9
+
+    def test_epoch_boundary_clipped_to_horizon(self):
+        compiled = tiny_scenario(horizon=42.0, rate=0.5).compile(3)
+        schedule = batch_schedule(compiled, 10.0)
+        assert all(admit_at <= 42.0 for admit_at, _batch in schedule)
+
+    def test_every_session_is_scheduled_once(self):
+        compiled = tiny_scenario(horizon=100.0, rate=0.5).compile(3)
+        scheduled = [member.session_id
+                     for _at, batch in batch_schedule(compiled, 7.0)
+                     for member in batch]
+        assert sorted(scheduled) == [
+            s.session_id for s in compiled.workload.sessions]
+
+    def test_rejects_nonpositive_window(self):
+        compiled = tiny_scenario().compile(3)
+        with pytest.raises(ValidationError):
+            batch_schedule(compiled, 0.0)
+
+
+class TestReplay:
+    def test_replay_by_name_and_by_spec_agree(self):
+        by_name = replay_scenario("flash_crowd_release", seed=9)
+        by_spec = replay_scenario(
+            by_name.compiled.spec, seed=9)
+        assert by_name.report_json() == by_spec.report_json()
+
+    def test_report_schema(self):
+        result = replay_scenario(tiny_scenario(), seed=4)
+        report = result.report
+        for key in ("scenario", "family", "seed", "sessions",
+                    "offered_load", "workload_fingerprint", "batches",
+                    "guaranteed_requests", "guaranteed_accepted",
+                    "violations_detected", "guaranteed_violations",
+                    "restorations", "degraded_sessions",
+                    "degraded_without_consent", "degraded_below_floor",
+                    "checkpoints", "conservation_breaches",
+                    "occupancy_mean", "utilization_mean", "revenue"):
+            assert key in report, key
+        assert report["checkpoints"] > 0
+        assert set(report["occupancy_mean"]) == {"g", "a", "b"}
+
+    def test_tiny_scenario_holds_invariants(self):
+        result = replay_scenario(tiny_scenario(), seed=4)
+        assert check_invariants(result) == []
+
+    def test_replay_is_deterministic(self):
+        first = replay_scenario(tiny_scenario(), seed=12).report_json()
+        second = replay_scenario(tiny_scenario(), seed=12).report_json()
+        assert first == second
+
+    def test_seed_changes_the_realisation(self):
+        first = replay_scenario(tiny_scenario(), seed=1)
+        second = replay_scenario(tiny_scenario(), seed=2)
+        assert first.report["workload_fingerprint"] != \
+            second.report["workload_fingerprint"]
