@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Benchmark trend tracking across the BENCH_*.json artifact set.
+
+Every benchmark writes a machine-readable artifact listed in
+``benchmarks/artifacts_latest.txt``; this script extracts one headline
+metric per artifact into ``benchmarks/BENCH_trend.json`` so regressions
+are visible as a diff and enforceable as a gate:
+
+* ``--update`` — re-extract every headline from the artifacts on disk
+  and rewrite the trend baseline (run after intentionally regenerating
+  benchmarks);
+* ``--check`` — re-extract and compare against the recorded baseline,
+  exiting non-zero when any metric regressed more than the tolerance
+  (default 20%) in its bad direction.  Improvements never fail.
+
+An artifact listed in the manifest but absent on disk fails ``--check``
+(the artifact set went stale); a metric present on disk but missing
+from the baseline is reported and passes (a new benchmark — refresh
+the baseline with ``--update``).
+
+Stdlib-only on purpose: it runs inside ``scripts/check.sh`` before the
+package is even imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Callable, Dict, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO / "benchmarks"
+MANIFEST = BENCH_DIR / "artifacts_latest.txt"
+TREND = BENCH_DIR / "BENCH_trend.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+def _chaos_completion(data: "Dict[str, Any]") -> float:
+    """Completion rate at the harshest drop probability measured."""
+    worst = max(data["points"], key=lambda point: point["drop"])
+    return float(worst["completion_rate"])
+
+
+def _atlas_revenue(data: "Dict[str, Any]") -> float:
+    """Best diurnal-day revenue across the reserve sweep."""
+    sweep = data["reserve_sweep"]["diurnal_day"]
+    return max(float(entry["revenue"]) for entry in sweep.values())
+
+
+def _throughput_batch64(data: "Dict[str, Any]") -> float:
+    for entry in data["batches"]:
+        if entry["batch_size"] == 64:
+            return float(entry["admissions_per_s"])
+    raise KeyError("no batch=64 entry in BENCH_throughput.json")
+
+
+#: artifact name -> (metric label, extractor, direction).  Direction
+#: "higher" means larger is better (a drop is a regression);
+#: "lower" means smaller is better (a rise is a regression).
+HEADLINES: "Dict[str, Tuple[str, Callable[[Dict[str, Any]], float], str]]" = {
+    "BENCH_chaos.json": (
+        "completion_rate_at_max_drop", _chaos_completion, "higher"),
+    "BENCH_obs.json": (
+        "disabled_admissions_per_s",
+        lambda data: float(data["disabled"]["admissions_per_s"]),
+        "higher"),
+    "BENCH_recovery.json": (
+        "memory_journal_overhead_fraction",
+        lambda data: float(data["memory_journal_overhead_fraction"]),
+        "lower"),
+    "BENCH_slot_table.json": (
+        "indexed_create_s_n10000",
+        lambda data: float(data["sizes"]["10000"]["indexed"]["create_s"]),
+        "lower"),
+    "BENCH_telemetry.json": (
+        "guard_per_op_s",
+        lambda data: float(data["guard_per_op_s"]),
+        "lower"),
+    "BENCH_throughput.json": (
+        "batch64_admissions_per_s", _throughput_batch64, "higher"),
+    "BENCH_workload_atlas.json": (
+        "diurnal_day_best_revenue", _atlas_revenue, "higher"),
+}
+
+
+def manifest_names() -> "list[str]":
+    names = []
+    for line in MANIFEST.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            names.append(line)
+    return sorted(names)
+
+
+def extract() -> "Dict[str, Dict[str, Any]]":
+    """Headline metrics for every manifest artifact present on disk."""
+    trend: "Dict[str, Dict[str, Any]]" = {}
+    for name in manifest_names():
+        if name == TREND.name:
+            continue
+        path = BENCH_DIR / name
+        if not path.exists():
+            trend[name] = {"error": "artifact missing"}
+            continue
+        if name not in HEADLINES:
+            trend[name] = {"error": "no headline extractor"}
+            continue
+        metric, extractor, direction = HEADLINES[name]
+        data = json.loads(path.read_text())
+        trend[name] = {
+            "metric": metric,
+            "value": extractor(data),
+            "direction": direction,
+        }
+    return trend
+
+
+def cmd_update() -> int:
+    trend = extract()
+    problems = [name for name, entry in trend.items() if "error" in entry]
+    if problems:
+        for name in problems:
+            print(f"bench-trend: cannot update — {name}: "
+                  f"{trend[name]['error']}", file=sys.stderr)
+        return 1
+    TREND.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+    for name in sorted(trend):
+        entry = trend[name]
+        print(f"{name}: {entry['metric']} = {entry['value']:g} "
+              f"({entry['direction']} is better)")
+    print(f"wrote {TREND.relative_to(REPO)}")
+    return 0
+
+
+def cmd_check(tolerance: float) -> int:
+    if not TREND.exists():
+        print(f"bench-trend: no baseline at {TREND.relative_to(REPO)}; "
+              f"run 'python scripts/bench_trend.py --update' after "
+              f"regenerating the benchmarks", file=sys.stderr)
+        return 1
+    baseline = json.loads(TREND.read_text())
+    current = extract()
+    failures = []
+    for name in sorted(current):
+        entry = current[name]
+        if "error" in entry:
+            failures.append(f"{name}: {entry['error']}")
+            continue
+        base = baseline.get(name)
+        if base is None or "value" not in base:
+            print(f"{name}: {entry['metric']} = {entry['value']:g} "
+                  f"(new — not in baseline; refresh with --update)")
+            continue
+        base_value = float(base["value"])
+        value = float(entry["value"])
+        if base_value == 0.0:
+            delta = 0.0
+        elif entry["direction"] == "higher":
+            delta = (base_value - value) / abs(base_value)
+        else:
+            delta = (value - base_value) / abs(base_value)
+        verdict = "REGRESSED" if delta > tolerance else "ok"
+        print(f"{name}: {entry['metric']} = {value:g} "
+              f"(baseline {base_value:g}, "
+              f"{'worse' if delta > 0 else 'better/equal'} by "
+              f"{abs(delta):.1%}, tolerance {tolerance:.0%}) {verdict}")
+        if delta > tolerance:
+            failures.append(
+                f"{name}: {entry['metric']} regressed {delta:.1%} "
+                f"(> {tolerance:.0%}): {base_value:g} -> {value:g}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name}: in baseline but no longer in the manifest")
+    if failures:
+        for failure in failures:
+            print(f"bench-trend: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="extract / gate headline benchmark metrics")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--update", action="store_true",
+                       help="rewrite benchmarks/BENCH_trend.json from "
+                            "the artifacts on disk")
+    group.add_argument("--check", action="store_true",
+                       help="fail when any headline regressed past the "
+                            "tolerance vs the recorded baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression "
+                             "(default: 0.20)")
+    args = parser.parse_args(argv)
+    if args.update:
+        return cmd_update()
+    return cmd_check(args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

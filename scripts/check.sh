@@ -62,3 +62,32 @@ echo "== workload-atlas smoke (reduced sweep) =="
 BENCH_ATLAS_SMOKE=1 python -m pytest \
     benchmarks/bench_workload_atlas.py -q > /dev/null
 echo "workload-atlas smoke OK (invariants hold)"
+
+echo "== obs smoke (flight-recorder byte-determinism) =="
+# Two fixed-seed replays of the same atlas scenario must explain every
+# admission verdict byte-identically: decision ids, span stamps and
+# journal LSNs are all functions of the seed alone.
+obs_a="$(mktemp)"; obs_b="$(mktemp)"
+python -m repro obs why all > "$obs_a"
+python -m repro obs why all > "$obs_b"
+diff "$obs_a" "$obs_b" > /dev/null || {
+    echo "flight-recorder report is not deterministic" >&2; exit 1; }
+rm -f "$obs_a" "$obs_b"
+echo "obs smoke OK (deterministic)"
+
+echo "== obs-overhead smoke (guard discipline) =="
+# Reduced-n run of the provenance-overhead benchmark: asserts the
+# BENCH_obs.json schema and that the disabled path leaves the decision
+# log uninstalled. The full 5% gate at n=10k stays manual:
+#   python -m pytest benchmarks/bench_obs_overhead.py -s
+BENCH_OBS_SMOKE=1 python -m pytest \
+    benchmarks/bench_obs_overhead.py -q > /dev/null
+echo "obs-overhead smoke OK (guards free when disabled)"
+
+echo "== bench trend (headline regression gate) =="
+# Every BENCH_*.json headline metric vs the recorded baseline in
+# benchmarks/BENCH_trend.json; >20% regression in the bad direction
+# fails. Refresh after intentional regeneration with:
+#   python scripts/bench_trend.py --update
+python scripts/bench_trend.py --check
+echo "bench trend OK (within tolerance)"

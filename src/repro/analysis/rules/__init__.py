@@ -19,6 +19,7 @@ QLNT112   Raw ``bus.request()`` outside the transport layer
 QLNT113   Private mutable counter shadowing the metrics registry
 QLNT114   Journaled state mutated outside the journal API
 QLNT115   Object allocation in the DES/slot-table hot loop
+QLNT116   Reject/degrade path without a decision record
 ========  ==============================================================
 """
 
@@ -33,6 +34,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     hygiene,
     journaling,
     messaging,
+    provenance,
     quantities,
     states,
     telemetry,
@@ -47,6 +49,7 @@ __all__ = [
     "hygiene",
     "journaling",
     "messaging",
+    "provenance",
     "quantities",
     "states",
     "telemetry",

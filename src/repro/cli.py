@@ -243,6 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
         "reserve", help="adaptive-reserve sizing ablation (X3)")
     reserve.add_argument("--horizon", type=float, default=600.0)
     reserve.add_argument("--seed", type=int, default=77)
+
+    obs = subparsers.add_parser(
+        "obs", help="flight recorder: replay an atlas scenario with "
+                    "decision provenance and query the causal record")
+    obs.add_argument("verb", choices=("why", "timeline", "slo"),
+                     help="why <sla-id|client|all>: explain every "
+                          "verdict; timeline <sla-id>: join decisions "
+                          "+ journal + spans; slo: per-class error "
+                          "budgets and alerts")
+    obs.add_argument("target", nargs="?", default="all",
+                     help="an SLA id, a client name, or 'all' "
+                          "(why only; default: all)")
+    obs.add_argument("--scenario", type=str, default="diurnal_day",
+                     help="atlas scenario to replay "
+                          "(default: diurnal_day)")
+    obs.add_argument("--seed", type=int, default=2003,
+                     help="replay seed (default: 2003)")
     return parser
 
 
@@ -263,6 +280,32 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import FlightRecorder
+    from .workloads.replay import replay_scenario
+
+    result = replay_scenario(args.scenario, seed=args.seed,
+                             with_journal=True)
+    testbed = result.testbed
+    assert testbed.decisions is not None
+    recorder = FlightRecorder(
+        decisions=testbed.decisions,
+        tracer=(testbed.telemetry.tracer
+                if testbed.telemetry is not None else None),
+        journal=testbed.journal, slo=testbed.slo)
+    print(f"# scenario: {args.scenario} seed={args.seed}")
+    if args.verb == "why":
+        print(recorder.why(args.target), end="")
+    elif args.verb == "timeline":
+        if not args.target.isdigit():
+            print("timeline needs a numeric SLA id", file=sys.stderr)
+            return 1
+        print(recorder.timeline(int(args.target)), end="")
+    else:
+        print(recorder.slo_report(testbed.sim.now), end="")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "telemetry": _cmd_telemetry,
@@ -271,6 +314,7 @@ _COMMANDS = {
     "diagram": _cmd_diagram,
     "sweep": _cmd_sweep,
     "reserve": _cmd_reserve,
+    "obs": _cmd_obs,
 }
 
 

@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, ContextManager, Dict, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Callable, ContextManager, Dict, List,
+                    Optional, Sequence)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..obs import DecisionLog, SloEngine
 
 from ..errors import (
     AdmissionError,
@@ -38,6 +42,7 @@ from ..monitoring.notifications import DegradationNotice, NotificationHub
 from ..monitoring.sensors import Sensor, SensorReading
 from ..monitoring.verifier import SlaVerifier
 from ..network.interdomain import EndToEndAllocation, InterDomainCoordinator
+from ..obs.decisions import point_payload
 from ..network.nrm import NetworkResourceManager
 from ..qos.classes import ServiceClass
 from ..qos.cost import PricingPolicy
@@ -242,6 +247,14 @@ class AQoSBroker:
         #: through every subsystem. ``None`` keeps every write point
         #: at a single attribute check.
         self.journal: Optional[Journal] = None
+        #: Optional decision-provenance log
+        #: (:class:`repro.obs.DecisionLog`);
+        #: :func:`repro.core.testbed.install_observability` wires it.
+        #: ``None`` keeps every emit point at a single attribute check.
+        self.decisions: Optional["DecisionLog"] = None
+        #: Optional SLO engine (:class:`repro.obs.SloEngine`) fed from
+        #: session start/end; installed alongside :attr:`decisions`.
+        self.slo: Optional["SloEngine"] = None
         #: Cache of journaled SLA XML keyed by sla_id; an entry is
         #: reused while the mutable document fields (the fingerprint)
         #: are unchanged, which keeps journaling off the XML encoder
@@ -316,6 +329,43 @@ class AQoSBroker:
             return nullcontext()
         return self.telemetry.tracer.span(name, component="aqos-broker",
                                           **attributes)
+
+    def _pool_headroom(self) -> "Dict[str, float]":
+        """Per-pool capacity context for decision records.
+
+        Only **non-flushing** partition reads: flushing a deferred
+        batch rebalance from inside an emit point would change the
+        journal sequence relative to provenance-off runs.
+        """
+        eff_g, eff_a, eff_b = self.partition.effective_sizes()
+        committed = self.partition.committed_total()
+        return {"eff_g": eff_g, "eff_a": eff_a, "eff_b": eff_b,
+                "committed": committed,
+                "cg_headroom": self.partition.cg - committed}
+
+    @staticmethod
+    def _offer_candidates(negotiation: Negotiation
+                          ) -> "List[Dict[str, object]]":
+        """The negotiated offers as decision-record candidate dicts."""
+        return [{"point": point_payload(offer.point),
+                 "revenue_rate": offer.price_rate,
+                 "note": offer.note}
+                for offer in negotiation.offers]
+
+    def _decide(self, action: str, outcome: str, **context: object) -> None:
+        """Emit one decision record when provenance is enabled.
+
+        The single guarded funnel for every broker/scenario verdict
+        (QLNT116).  Head-room is attached here so emit sites stay
+        one-liners; anything expensive to build (candidate lists,
+        pricing calls) must itself be gated on
+        ``self.decisions is not None`` at the call site.
+        """
+        if self.decisions is None:
+            return
+        self.decisions.decide(action, outcome,
+                              headroom=self._pool_headroom(),
+                              **context)  # type: ignore[arg-type]
 
     def _journal_sla(self, sla: ServiceSLA) -> None:
         """Append an ``sla_saved`` record (document + lifecycle status).
@@ -470,6 +520,9 @@ class AQoSBroker:
             if not matches:
                 negotiation.propose([])
                 self.stats.rejected_discovery += 1
+                self._decide("admission", "reject", subject=request.client,
+                             constraint="discovery",
+                             reason="no matching service in UDDIe")
                 return negotiation, "no matching service in UDDIe"
         demand = QoSSpecification.point_demand(
             request.specification.best_point())
@@ -493,6 +546,12 @@ class AQoSBroker:
         if not fits:
             negotiation.propose([])
             self.stats.rejected_capacity += 1
+            if self.decisions is not None:
+                self._decide("admission", "reject", subject=request.client,
+                             constraint="capacity",
+                             reason=f"insufficient resources "
+                                    f"(needs cpu={floor_demand.cpu:g}, "
+                                    f"committed={committed:g} guaranteed)")
             return negotiation, "insufficient resources"
         negotiation.propose(self.make_offers(request))
         if negotiation.offers:
@@ -501,6 +560,13 @@ class AQoSBroker:
                         f"{negotiation.offers[0].price_rate:g})")
             return negotiation, ""
         self.stats.rejected_negotiation += 1
+        if self.decisions is not None:
+            budget = ("unconstrained" if request.budget_rate is None
+                      else f"{request.budget_rate:g}")
+            self._decide("admission", "reject", subject=request.client,
+                         constraint="negotiation",
+                         reason="no offer within the client's budget "
+                                f"(budget_rate={budget})")
         return negotiation, "no offer within the client's budget"
 
     def establish(self, negotiation: Negotiation) -> ServiceOutcome:
@@ -529,6 +595,13 @@ class AQoSBroker:
                 self.stats.rejected_capacity += 1
                 session.enter_clearing("violation")
                 session.close()
+                if self.decisions is not None:
+                    self._decide("admission", "reject",
+                                 subject=request.client,
+                                 constraint="reservation",
+                                 reason=f"reservation failed: {error}",
+                                 candidates=self._offer_candidates(
+                                     negotiation))
                 return ServiceOutcome(request=request, accepted=False,
                                       reason=f"reservation failed: {error}",
                                       negotiation=negotiation,
@@ -543,6 +616,15 @@ class AQoSBroker:
         self.stats.accepted += 1
         self.record(f"SLA {sla.sla_id} established for {sla.client!r} "
                     f"({sla.service_class.value}, rate {sla.price_rate:g})")
+        if self.decisions is not None:
+            self._decide("admission", "accept",
+                         subject=self._user_key(sla.sla_id),
+                         sla_id=sla.sla_id,
+                         reason=f"offer accepted by {sla.client!r} "
+                                f"({sla.service_class.value})",
+                         candidates=self._offer_candidates(negotiation),
+                         chosen={"point": point_payload(sla.agreed_point),
+                                 "revenue_rate": sla.price_rate})
 
         # Allocation + invocation happen at the window start: an
         # advance reservation (start in the future) holds its GARA
@@ -591,6 +673,10 @@ class AQoSBroker:
             except AdmissionError as error:
                 self.record(f"SLA {sla_id}: activation failed "
                             f"({error}); terminating")
+                if self.decisions is not None:
+                    self._decide("activation", "reject", subject=user_key,
+                                 sla_id=sla_id, constraint="admission",
+                                 reason=f"activation failed: {error}")
                 self.terminate_session(sla_id, cause="violation",
                                        note="activation failed")
                 return
@@ -640,6 +726,9 @@ class AQoSBroker:
             self.verifier.attach_sensor(sla_id, network_sensor)
             resources.sensor_names.append(network_sensor.name)
         self.ledger.session_started(sla_id, self.sim.now, sla.price_rate)
+        if self.slo is not None:
+            self.slo.session_started(sla_id, sla.service_class.value,
+                                     self.sim.now)
         # Counted up/down on activate/close rather than recounted from
         # the repository: the recount is O(n log n) and sits on the
         # admission hot path. Recovery re-seeds the gauge after replay.
@@ -724,8 +813,13 @@ class AQoSBroker:
         try:
             partition.defer_rebalances()
             try:
-                for request in requests:
-                    outcomes.append(self.request_service(request))
+                # The batch-level span parents every per-request tree,
+                # so one batched episode renders as one connected
+                # trace instead of len(requests) disjoint roots.
+                with self._span("batch_admission",
+                                batch_size=len(requests)):
+                    for request in requests:
+                        outcomes.append(self.request_service(request))
             finally:
                 # Settle the batch's single water-fill before the
                 # group commits, so its journal record lands inside
@@ -769,11 +863,19 @@ class AQoSBroker:
         self.stats.requests += 1
         self.stats.best_effort_requests += 1
         if cpu <= 0:
+            self._decide("best_effort", "reject", subject=user,
+                         constraint="demand",
+                         reason="non-positive demand")
             return False
         if not allow_partial and not self.engine.can_allocate_best_effort(cpu):
             self.record(f"best-effort request by {user!r} for {cpu:g} "
                         f"node(s) refused (idle="
                         f"{self.partition.idle_capacity():g})")
+            if self.decisions is not None:
+                self._decide("best_effort", "reject", subject=user,
+                             constraint="capacity",
+                             reason=f"requested {cpu:g} node(s), idle="
+                                    f"{self.partition.idle_capacity():g}")
             return False
         self._be_counter += 1
         key = f"be-{user}-{self._be_counter}"
@@ -782,6 +884,11 @@ class AQoSBroker:
             self.engine.release_best_effort(key)
             self.record(f"best-effort request by {user!r} for {cpu:g} "
                         f"node(s): nothing available")
+            if self.decisions is not None:
+                self._decide("best_effort", "reject", subject=user,
+                             constraint="capacity",
+                             reason=f"requested {cpu:g} node(s): "
+                                    f"nothing available")
             return False
         if self.journal is not None:
             self.journal.append(BEST_EFFORT_SET, user=key, demand=cpu)
@@ -796,6 +903,10 @@ class AQoSBroker:
         self.stats.best_effort_granted += 1
         self.record(f"best-effort request by {user!r}: granted "
                     f"{decision.granted:g} of {cpu:g} node(s)")
+        if self.decisions is not None:
+            self._decide("best_effort", "grant", subject=user,
+                         chosen={"granted": decision.granted,
+                                 "requested": cpu})
         return True
 
     # ==================================================================
@@ -941,7 +1052,34 @@ class AQoSBroker:
                         sla.agreed_point, sla.service_class)))
             services[key] = capped
         budget = self._optimizer_budget(adjustable)
-        result = greedy_optimize(services, budget)
+        on_decision = None
+        if self.decisions is not None:
+            def on_decision(outcome: OptimizationResult) -> None:
+                self._decide(
+                    "optimizer",
+                    "solved" if outcome.feasible else "infeasible",
+                    subject="controlled-load",
+                    constraint="" if outcome.feasible else "capacity",
+                    reason=f"{len(adjustable)} session(s), "
+                           f"budget cpu={budget.cpu:g}",
+                    chosen={"revenue_rate": outcome.revenue})
+        result = greedy_optimize(services, budget, on_decision=on_decision)
+        if self.decisions is not None:
+            for sla in adjustable:
+                key = self._user_key(sla.sla_id)
+                candidate = result.assignment.get(key)
+                self._decide(
+                    "optimizer",
+                    "assign" if candidate is not None else "skip",
+                    subject=key, sla_id=sla.sla_id,
+                    candidates=[{"level": option.level,
+                                 "point": point_payload(option.point),
+                                 "revenue_rate": option.revenue_rate}
+                                for option in services[key]],
+                    chosen=(None if candidate is None else
+                            {"level": candidate.level,
+                             "point": point_payload(candidate.point),
+                             "revenue_rate": candidate.revenue_rate}))
         for sla in adjustable:
             candidate = result.assignment.get(self._user_key(sla.sla_id))
             if candidate is None:
@@ -987,8 +1125,15 @@ class AQoSBroker:
         try:
             sla = self.repository.get(sla_id)
         except SLAError as error:
+            self._decide("renegotiation", "reject", sla_id=sla_id,
+                         constraint="lookup", reason=str(error))
             return False, str(error)
         if sla.status is not SlaStatus.ACTIVE:
+            if self.decisions is not None:
+                self._decide("renegotiation", "reject", sla_id=sla_id,
+                             constraint="lifecycle",
+                             reason=f"SLA {sla_id} is {sla.status.value}, "
+                                    f"not active")
             return False, f"SLA {sla_id} is {sla.status.value}, not active"
         if self.allocation.has(sla_id):
             self.allocation.get(sla_id).session.perform(
@@ -1001,6 +1146,11 @@ class AQoSBroker:
                          else QoSSpecification.point_demand(new_best).cpu)
         new_rate = self.pricing.point_rate(new_best, sla.service_class)
         if budget_rate is not None and new_rate > budget_rate:
+            if self.decisions is not None:
+                self._decide("renegotiation", "reject", sla_id=sla_id,
+                             constraint="negotiation",
+                             reason=f"offer rate {new_rate:g} exceeds "
+                                    f"budget {budget_rate:g}")
             return False, (f"offer rate {new_rate:g} exceeds budget "
                            f"{budget_rate:g}")
 
@@ -1010,6 +1160,12 @@ class AQoSBroker:
         committed_after = (self.partition.committed_total()
                            - old_committed + new_committed)
         if committed_after > self.partition.cg + 1e-9:
+            if self.decisions is not None:
+                self._decide("renegotiation", "reject", sla_id=sla_id,
+                             constraint="capacity",
+                             reason=f"commitments {committed_after:g} "
+                                    f"would exceed "
+                                    f"Cg={self.partition.cg:g}")
             return False, (f"commitments {committed_after:g} would exceed "
                            f"Cg={self.partition.cg:g}")
         new_demand = QoSSpecification.point_demand(new_best)
@@ -1027,6 +1183,10 @@ class AQoSBroker:
                                                  - old_committed))
             free = self.compute_rm.available_at(now)
             if not compute_delta.fits_within(free):
+                self._decide("renegotiation", "reject", sla_id=sla_id,
+                             constraint="capacity",
+                             reason="insufficient resources for the "
+                                    "new QoS")
                 return False, "insufficient resources for the new QoS"
 
         # Apply atomically: partition commitment, reservations, document.
@@ -1054,6 +1214,11 @@ class AQoSBroker:
         self._journal_sla(sla)
         self.record(f"SLA {sla_id} re-negotiated: new agreed point at "
                     f"rate {new_rate:g}")
+        if self.decisions is not None:
+            self._decide("renegotiation", "accept", sla_id=sla_id,
+                         subject=user_key,
+                         chosen={"point": point_payload(new_best),
+                                 "revenue_rate": new_rate})
         return True, ""
 
     # ------------------------------------------------------------------
@@ -1088,6 +1253,14 @@ class AQoSBroker:
         self.ledger.promotion_offered(sla.sla_id, accepted=applied)
         self.record(f"promotion offer to SLA {sla.sla_id}: "
                     f"{'accepted' if applied else 'declined/refused'}")
+        if self.decisions is not None:
+            self._decide("promotion",
+                         "accept" if applied else "decline",
+                         sla_id=sla.sla_id,
+                         subject=self._user_key(sla.sla_id),
+                         constraint="" if applied else "client/capacity",
+                         chosen=({"point": point_payload(point)}
+                                 if applied else None))
         return applied
 
     # ------------------------------------------------------------------
@@ -1219,6 +1392,8 @@ class AQoSBroker:
                     sla.terminate()
                 self._journal_sla(sla)
             self.ledger.session_ended(sla_id, self.sim.now)
+            if self.slo is not None:
+                self.slo.session_ended(sla_id, self.sim.now)
             if was_active:
                 self.metrics.gauge("repro_sla_active_sessions").add(-1.0)
             suffix = f" ({note})" if note else ""

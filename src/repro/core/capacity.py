@@ -40,7 +40,7 @@ Priority tiers inside ``rebalance``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError
 from ..recovery.journal import CAPACITY_REBALANCED, Journal
@@ -199,6 +199,12 @@ class CapacityPartition:
         #: Optional write-ahead journal; every rebalance appends a
         #: ``capacity_rebalanced`` record when set.
         self.journal: Optional[Journal] = None
+        #: Optional decision-provenance log
+        #: (:class:`repro.obs.DecisionLog`); eventful rebalances —
+        #: shortfalls, preemptions, adaptive transfers — emit a
+        #: ``rebalance`` record when set. Like :attr:`observer`, set
+        #: before the constructor's initial :meth:`rebalance`.
+        self.decisions: "Optional[Any]" = None
         self.rebalance()
 
     # ------------------------------------------------------------------
@@ -514,6 +520,21 @@ class CapacityPartition:
             self.journal.append(CAPACITY_REBALANCED, failed=self._failed,
                                 committed=self.committed_total(),
                                 adapt_transfer=adapt_transfer)
+        if self.decisions is not None and (
+                shortfalls or preempted or adapt_transfer > _EPSILON):
+            # Only eventful passes are provenance-worthy: a quiet
+            # water-fill that moved nothing would drown the log.
+            self.decisions.decide(
+                "rebalance",
+                "shortfall" if shortfalls else "adapted",
+                subject="partition",
+                constraint="capacity" if shortfalls else "",
+                reason=f"failed={self._failed:g} "
+                       f"adapt_transfer={adapt_transfer:g} "
+                       f"shortfalls={len(shortfalls)} "
+                       f"preempted={len(preempted)}",
+                headroom={"eff_g": eff_g, "eff_a": eff_a, "eff_b": eff_b,
+                          "committed": self.committed_total()})
         return self.last_report
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ choice knapsack; the paper proposes a heuristic, so we provide:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import AdmissionError
 from ..qos.classes import ServiceClass
@@ -113,7 +113,9 @@ def _scarcity_cost(extra: ResourceVector, used: ResourceVector,
 
 
 def greedy_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
-                    capacity: ResourceVector) -> OptimizationResult:
+                    capacity: ResourceVector, *,
+                    on_decision: "Optional[Callable[[OptimizationResult], None]]" = None
+                    ) -> OptimizationResult:
     """The Section 5.3 heuristic (marginal-revenue greedy).
 
     Every service starts at its floor (level 0). If even the floors do
@@ -121,6 +123,10 @@ def greedy_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
     must degrade or refuse someone instead. Then, repeatedly, the
     single-level upgrade with the highest marginal revenue per unit of
     scarcity-weighted extra demand is applied, until no upgrade fits.
+
+    ``on_decision`` is the provenance hook: when set it receives the
+    result before it is returned, so every solver verdict — including
+    the infeasible-floors case — is recorded (QLNT116).
     """
     assignment: Dict[str, QualityCandidate] = {}
     used = ResourceVector.zero()
@@ -162,20 +168,29 @@ def greedy_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
         explored += 1
     revenue = sum(candidate.revenue_rate
                   for candidate in assignment.values())
-    return OptimizationResult(assignment=assignment, revenue=revenue,
-                              used=used, explored=explored,
-                              feasible=feasible)
+    result = OptimizationResult(assignment=assignment, revenue=revenue,
+                                used=used, explored=explored,
+                                feasible=feasible)
+    if on_decision is not None:
+        on_decision(result)
+    return result
 
 
 def exact_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
                    capacity: ResourceVector, *,
-                   node_limit: int = 2_000_000) -> OptimizationResult:
+                   node_limit: int = 2_000_000,
+                   on_decision: "Optional[Callable[[OptimizationResult], None]]" = None
+                   ) -> OptimizationResult:
     """Branch-and-bound reference solver (exact for small instances).
 
     Services are branched in sorted-key order, levels best-revenue
     first; the bound at each node is the current revenue plus every
     remaining service's maximum candidate revenue (capacity-ignoring,
     hence admissible).
+
+    ``on_decision`` is the provenance hook: when set it receives the
+    result before it is returned, on both the exact and the
+    infeasible-fallback paths (QLNT116).
 
     Raises:
         AdmissionError: When ``node_limit`` search nodes are exceeded —
@@ -227,14 +242,20 @@ def exact_optimize(services: "Mapping[str, Sequence[QualityCandidate]]",
         used = ResourceVector.zero()
         for candidate in assignment.values():
             used = used + candidate.demand
-        return OptimizationResult(assignment=assignment,
-                                  revenue=sum(c.revenue_rate for c in
-                                              assignment.values()),
-                                  used=used, explored=explored,
-                                  feasible=False)
+        fallback = OptimizationResult(assignment=assignment,
+                                      revenue=sum(c.revenue_rate for c in
+                                                  assignment.values()),
+                                      used=used, explored=explored,
+                                      feasible=False)
+        if on_decision is not None:
+            on_decision(fallback)
+        return fallback
     used = ResourceVector.zero()
     for candidate in best_solution.values():
         used = used + candidate.demand
-    return OptimizationResult(assignment=best_solution,
-                              revenue=best_revenue, used=used,
-                              explored=explored, feasible=True)
+    result = OptimizationResult(assignment=best_solution,
+                                revenue=best_revenue, used=used,
+                                explored=explored, feasible=True)
+    if on_decision is not None:
+        on_decision(result)
+    return result

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import SLAError
 from ..monitoring.notifications import DegradationNotice
+from ..obs.decisions import point_payload
 from ..sla.document import ServiceSLA
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -90,8 +91,16 @@ class ScenarioEngine:
             if sla.delivered_point != floor and (
                     sla.adaptation.accept_degradation
                     or sla.adaptation.alternative_points):
-                broker.apply_point(sla, self._lowest_point(sla))
+                lowest = self._lowest_point(sla)
+                broker.apply_point(sla, lowest)
                 self.stats.squeezes += 1
+                if broker.decisions is not None:
+                    broker._decide(
+                        "adaptation", "squeeze", sla_id=sla.sla_id,
+                        subject=f"sla-{sla.sla_id}",
+                        reason="Scenario 1: squeezed to floor to free "
+                               f"cpu={cpu_needed:g}",
+                        chosen={"point": point_payload(lowest)})
                 if self._fits(cpu_needed, committed_needed):
                     return True
 
@@ -102,6 +111,11 @@ class ScenarioEngine:
                    if sla.adaptation.accept_termination]
         victims.sort(key=lambda sla: sla.price_rate)
         for sla in victims:
+            broker._decide("adaptation", "terminate", sla_id=sla.sla_id,
+                           subject=f"sla-{sla.sla_id}",
+                           constraint="compensation",
+                           reason="Scenario 1: terminated (cheapest "
+                                  "compensable session) to free capacity")
             broker.terminate_session(sla.sla_id, cause="violation",
                                      note="terminated for compensation "
                                           "(Scenario 1)")
@@ -156,6 +170,13 @@ class ScenarioEngine:
             restored = broker.try_apply_point(sla, sla.agreed_point)
             if restored:
                 self.stats.restorations += 1
+                if broker.decisions is not None:
+                    broker._decide(
+                        "adaptation", "restore", sla_id=sla.sla_id,
+                        subject=f"sla-{sla.sla_id}",
+                        reason="Scenario 2: freed resources restored "
+                               "the agreed point",
+                        chosen={"point": point_payload(sla.agreed_point)})
 
         # (b) upgrade sessions not receiving their best QoS (the
         # revenue optimizer decides who, within SLA bounds).
@@ -208,6 +229,10 @@ class ScenarioEngine:
                 self.stats.restorations += 1
                 broker.record(f"Scenario 3: restored SLA {sla.sla_id} by "
                               f"squeezing other sessions")
+                broker._decide("adaptation", "restore", sla_id=sla.sla_id,
+                               subject=f"sla-{sla.sla_id}",
+                               reason="Scenario 3: restored by squeezing "
+                                      "other sessions")
                 return
 
         severity = notice.severity
@@ -219,9 +244,22 @@ class ScenarioEngine:
                     self.stats.self_degradations += 1
                     broker.record(f"Scenario 3: degraded SLA {sla.sla_id} "
                                   f"to a pre-agreed lower QoS")
+                    if broker.decisions is not None:
+                        broker._decide(
+                            "adaptation", "degrade", sla_id=sla.sla_id,
+                            subject=f"sla-{sla.sla_id}",
+                            reason=f"Scenario 3: degraded in place "
+                                   f"(severity {severity:.2f})",
+                            chosen={"point": point_payload(lowest)})
                     return
 
         if severity >= MAJOR_DEGRADATION:
+            broker._decide("adaptation", "terminate", sla_id=sla.sla_id,
+                           subject=f"sla-{sla.sla_id}",
+                           constraint="major-degradation",
+                           reason=f"Scenario 3: severity {severity:.2f} >= "
+                                  f"{MAJOR_DEGRADATION:g} and no restore "
+                                  f"or degrade-in-place succeeded")
             broker.terminate_session(sla.sla_id, cause="violation",
                                      note="major QoS degradation "
                                           "(Scenario 3)")
@@ -232,3 +270,8 @@ class ScenarioEngine:
             broker.penalize(sla, notice)
             broker.record(f"Scenario 3: SLA {sla.sla_id} degraded "
                           f"(severity {severity:.2f}); client alerted")
+            broker._decide("adaptation", "penalize", sla_id=sla.sla_id,
+                           subject=f"sla-{sla.sla_id}",
+                           reason=f"Scenario 3: tolerable degradation "
+                                  f"(severity {severity:.2f}); penalized "
+                                  f"per the SLA")

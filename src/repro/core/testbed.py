@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from ..monitoring.mds import InformationService
 from ..monitoring.notifications import NotificationHub
+from ..obs import DecisionLog, SloEngine
 from ..network.interdomain import InterDomainCoordinator
 from ..network.nrm import NetworkResourceManager
 from ..network.topology import Topology
@@ -72,6 +73,8 @@ class Testbed:
     telemetry: Optional[Telemetry] = None
     journal: Optional[Journal] = None
     snapshots: Optional[SnapshotKeeper] = None
+    decisions: Optional[DecisionLog] = None
+    slo: Optional[SloEngine] = None
 
     @property
     def repository(self) -> SLARepository:
@@ -202,6 +205,44 @@ def install_telemetry(testbed: Testbed) -> Telemetry:
     if testbed.bus is not None:
         testbed.bus.telemetry = telemetry
     return telemetry
+
+
+def install_observability(testbed: Testbed
+                          ) -> "tuple[DecisionLog, SloEngine]":
+    """Turn on decision provenance and SLO tracking testbed-wide.
+
+    Telemetry is installed first (the decision log shares its event
+    stream and stamps its span ids), then a :class:`DecisionLog` and
+    :class:`SloEngine` are wired through the broker, the capacity
+    partition and the SLA verifier. The journal is resolved through a
+    getter per record, so ``install_journal`` may run before or after
+    this and LSN stamps still work. Idempotent: a second call returns
+    the installed pair.
+    """
+    if testbed.decisions is not None and testbed.slo is not None:
+        return testbed.decisions, testbed.slo
+    telemetry = install_telemetry(testbed)
+    sim = testbed.sim
+    broker = testbed.broker
+    decisions = DecisionLog(now=lambda: sim.now, stream=telemetry.stream,
+                            tracer=telemetry.tracer,
+                            journal_getter=lambda: broker.journal)
+    metrics = telemetry.metrics
+
+    def occupancy() -> "Dict[str, float]":
+        return {"utilization_mean": metrics.time_gauge(
+            "repro_capacity_utilization").mean()}
+
+    slo = SloEngine(now=lambda: sim.now, stream=telemetry.stream,
+                    occupancy=occupancy)
+    broker.decisions = decisions
+    broker.slo = slo
+    broker.verifier.decisions = decisions
+    broker.verifier.slo = slo
+    testbed.partition.decisions = decisions
+    testbed.decisions = decisions
+    testbed.slo = slo
+    return decisions, slo
 
 
 def install_chaos(testbed: Testbed, seed: int, *,

@@ -20,7 +20,7 @@ The verifier:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 from xml.etree import ElementTree as ET
 
 from ..errors import MonitoringError
@@ -73,6 +73,14 @@ class SlaVerifier:
         #: Optional write-ahead journal; violation/restoration state
         #: *transitions* are appended when set.
         self.journal: Optional[Journal] = None
+        #: Optional decision-provenance log
+        #: (:class:`repro.obs.DecisionLog`); the same transitions emit
+        #: ``violation``/``restoration`` records citing the worst
+        #: violated dimension.
+        self.decisions: "Optional[Any]" = None
+        #: Optional SLO engine (:class:`repro.obs.SloEngine`); fed the
+        #: same transitions so per-class error budgets accrue bad time.
+        self.slo: "Optional[Any]" = None
         self.tolerance = tolerance
         #: sensor names attached per SLA id
         self._session_sensors: Dict[int, List[str]] = {}
@@ -164,6 +172,22 @@ class SlaVerifier:
                     "repro_sla_violations_detected_total").inc()
                 if self.journal is not None:
                     self.journal.append(VIOLATION, sla_id=sla_id)
+                if self.decisions is not None:
+                    worst = report.worst()
+                    detail = (f"; worst: {worst.dimension.value} "
+                              f"expected {worst.expected:g} measured "
+                              f"{worst.measured:g} (severity "
+                              f"{worst.severity:.2f})"
+                              if worst is not None else "")
+                    self.decisions.decide(
+                        "violation", "detected", sla_id=sla_id,
+                        subject=f"sla-{sla_id}",
+                        constraint=(worst.dimension.value
+                                    if worst is not None else ""),
+                        reason=f"{len(report.violations)} "
+                               f"violation(s){detail}")
+                if self.slo is not None:
+                    self.slo.on_violation(sla_id, self._sim.now)
             self.metrics.counter(
                 "repro_sla_degradation_notices_total",
                 source="sla-verif").inc()
@@ -177,6 +201,13 @@ class SlaVerifier:
             self.metrics.counter("repro_sla_restorations_total").inc()
             if self.journal is not None:
                 self.journal.append(RESTORATION, sla_id=sla_id)
+            if self.decisions is not None:
+                self.decisions.decide(
+                    "restoration", "restored", sla_id=sla_id,
+                    subject=f"sla-{sla_id}",
+                    reason="conformance test back within tolerance")
+            if self.slo is not None:
+                self.slo.on_restoration(sla_id, self._sim.now)
         self.metrics.gauge("repro_sla_violating_sessions").set(
             float(len(self._violating)))
         return report

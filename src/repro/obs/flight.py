@@ -1,0 +1,222 @@
+"""The flight recorder: one causal report per control-plane episode.
+
+Three logs exist after PR-4/PR-5/this PR: spans (what happened, with
+causality), journal records (what durably changed), and decision
+records (why).  Each alone answers a different question; an operator
+asking "why was SLA 1007 squeezed at t=340?" needs the *join*.  The
+:class:`FlightRecorder` performs that join read-only over the live
+objects — no extra storage, no extra cost when unused — and renders it
+three ways:
+
+* :meth:`why` — every verdict about one SLA (or client, or all of
+  them), citing the failing constraint or the chosen point with its
+  revenue value, plus the span and LSN stamps;
+* :meth:`timeline` — a chronological merge of decisions, journal
+  records and spans touching one SLA;
+* :meth:`slo_report` — the per-class SLO state with its alert history.
+
+All output is plain deterministic text (``%g`` floats, sorted keys),
+so a fixed seed reproduces the report byte-for-byte — the property the
+``scripts/check.sh`` obs smoke pins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .decisions import DecisionLog, DecisionRecord
+from .slo import SloEngine
+
+__all__ = [
+    "FlightRecorder",
+]
+
+
+def _fmt_value(value: Any) -> str:
+    """Compact deterministic scalar rendering (``%g`` floats).
+
+    Long payloads (journaled SLA XML runs to kilobytes) are truncated
+    deterministically so a timeline stays one line per entry.
+    """
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    if len(text) > 96:
+        return f"{text[:93]}... (+{len(text) - 93} chars)"
+    return text
+
+
+def _fmt_mapping(payload: Any) -> str:
+    """``k=v`` pairs in sorted key order."""
+    if not isinstance(payload, dict) or not payload:
+        return _fmt_value(payload)
+    return " ".join(f"{key}={_fmt_value(payload[key])}"
+                    for key in sorted(payload))
+
+
+class FlightRecorder:
+    """Joins decisions, spans, journal and SLO state into reports.
+
+    Args:
+        decisions: The decision-provenance log (required — it carries
+            the verdicts everything else annotates).
+        tracer: Optional tracer for span context in timelines.
+        journal: Optional journal for durable-record context.
+        slo: Optional SLO engine for :meth:`slo_report`.
+    """
+
+    def __init__(self, *, decisions: DecisionLog,
+                 tracer: Optional[Any] = None,
+                 journal: Optional[Any] = None,
+                 slo: Optional[SloEngine] = None) -> None:
+        self.decisions = decisions
+        self.tracer = tracer
+        self.journal = journal
+        self.slo = slo
+
+    # ------------------------------------------------------------------
+    # why
+    # ------------------------------------------------------------------
+
+    def _explain(self, record: DecisionRecord) -> "List[str]":
+        """Render one decision record as an indented block."""
+        subject = record.subject or (f"sla-{record.sla_id}"
+                                     if record.sla_id is not None
+                                     else "?")
+        header = (f"== {record.action} {record.outcome}: {subject} "
+                  f"@ t={record.time:g}")
+        lines = [header]
+        if record.outcome in ("reject", "refuse", "terminate"):
+            constraint = record.constraint or "unspecified"
+            reason = record.reason or "no reason recorded"
+            lines.append(f"   constraint: {constraint} — {reason}")
+        elif record.reason:
+            lines.append(f"   because: {record.reason}")
+        if record.chosen is not None:
+            lines.append(f"   chosen: {_fmt_mapping(record.chosen)}")
+        if record.candidates:
+            lines.append(f"   candidates ({len(record.candidates)}):")
+            for candidate in record.candidates:
+                lines.append(f"     - {_fmt_mapping(candidate)}")
+        if record.headroom:
+            lines.append(f"   headroom: {_fmt_mapping(record.headroom)}")
+        stamps = []
+        if record.trace_id:
+            stamps.append(f"trace {record.trace_id}/{record.span_id}")
+        if record.lsn:
+            stamps.append(f"lsn {record.lsn}")
+        if stamps:
+            lines.append(f"   [{'] ['.join(stamps)}]")
+        return lines
+
+    def why(self, target: "Any" = "all") -> str:
+        """Explain every verdict about ``target``.
+
+        ``target`` is an SLA id (int or numeric string), a client-name
+        string (pre-SLA rejects are recorded under the client name),
+        or ``"all"`` for every admission-path verdict in emit order.
+        """
+        if isinstance(target, str) and target.isdigit():
+            target = int(target)
+        if target == "all":
+            records = [record for record in self.decisions.records
+                       if record.action in ("admission", "best_effort",
+                                            "activation")]
+            title = "all admission outcomes"
+        elif isinstance(target, int):
+            records = self.decisions.for_sla(target)
+            title = f"sla-{target}"
+        else:
+            records = self.decisions.for_subject(str(target))
+            title = str(target)
+        lines = [f"# why: {title} — {len(records)} decision(s)"]
+        for record in records:
+            lines.append("")
+            lines.extend(self._explain(record))
+        if not records:
+            lines.append("(no decisions recorded)")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # timeline
+    # ------------------------------------------------------------------
+
+    def timeline(self, sla_id: int) -> str:
+        """Chronological decisions + journal records + spans for an SLA.
+
+        Entries are merged by ``(time, source priority, source
+        sequence)`` with journal first at equal times (the durable
+        record precedes the verdict that observed it), then decisions,
+        then spans.
+        """
+        entries: "List[Tuple[float, int, int, str]]" = []
+        if self.journal is not None:
+            for record in self.journal.records():
+                if record.payload.get("sla_id") == sla_id:
+                    entries.append((
+                        record.time, 0, record.lsn,
+                        f"journal  lsn={record.lsn} {record.type}: "
+                        f"{_fmt_mapping(record.payload)}"))
+        for index, record in enumerate(self.decisions.for_sla(sla_id)):
+            summary = record.constraint or (
+                _fmt_mapping(record.chosen)
+                if record.chosen is not None else record.reason)
+            stamp = (f" [{record.trace_id}/{record.span_id}]"
+                     if record.trace_id else "")
+            entries.append((
+                record.time, 1, index,
+                f"decision {record.action} {record.outcome}"
+                f"{': ' + summary if summary else ''}{stamp}"))
+        if self.tracer is not None:
+            for index, span in enumerate(self.tracer.spans):
+                if span.attributes.get("sla_id") != sla_id:
+                    continue
+                entries.append((
+                    span.start, 2, index,
+                    f"span     {span.trace_id}/{span.span_id} "
+                    f"{span.name} ({span.component}) "
+                    f"dur={span.duration:g} status={span.status}"))
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        lines = [f"# timeline: sla-{sla_id} — {len(entries)} entries"]
+        for time, _, _, text in entries:
+            lines.append(f"t={time:<10g} {text}")
+        if not entries:
+            lines.append("(no entries)")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # slo
+    # ------------------------------------------------------------------
+
+    def slo_report(self, time: Optional[float] = None) -> str:
+        """Per-class SLO state plus the alert history."""
+        if self.slo is None:
+            return "# slo\n(no SLO engine installed)\n"
+        snapshot = self.slo.snapshot(time)
+        lines = ["# slo"]
+        for service_class in sorted(snapshot):
+            entry = snapshot[service_class]
+            if service_class == "_occupancy":
+                lines.append(f"occupancy: {_fmt_mapping(entry)}")
+                continue
+            lines.append(f"class {service_class}:")
+            for key in ("sessions", "active_time", "bad_time",
+                        "availability", "objective", "budget"):
+                if key in entry:
+                    lines.append(f"   {key}: {_fmt_value(entry[key])}")
+            if "burn_rate" in entry:
+                burn = entry["burn_rate"]
+                lines.append("   burn_rate: " + " ".join(
+                    f"{window}={burn[window]:g}"
+                    for window in sorted(
+                        burn, key=lambda label: float(label[:-1]))))
+        alerts = self.slo.alerts
+        lines.append(f"alerts: {len(alerts)}")
+        for alert in alerts:
+            lines.append(
+                f"   t={alert.time:g} {alert.service_class} "
+                f"window={alert.window:g}s burn={alert.burn_rate:g} "
+                f"threshold={alert.threshold:g}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,293 @@
+"""Declarative per-class SLOs with error budgets and burn rates.
+
+The paper's availability objective ("the availability of the service
+per month should not be lower than 96%", §3) is what the verifier's
+conformance tests ultimately protect.  This module makes it explicit:
+an :class:`SloSpec` names an availability target per service class,
+the complement (``1 - availability``) is the **violation budget**, and
+the :class:`SloEngine` evaluates, on the sim clock, what fraction of
+that budget each class is burning and how fast.
+
+Inputs are the existing signals — verifier violation/restoration
+transitions and session start/end from the broker — accumulated as
+per-SLA intervals.  ``burn_rate(window)`` is the classic multi-window
+formulation: the fraction of active time spent in violation inside a
+trailing window, divided by the budget, so 1.0 means "on track to
+exactly exhaust the budget" and the default alert threshold of 2.0
+fires when a class burns twice as fast as it can afford.  Alerts are
+deterministic records, emitted only on the *transition* into burn so a
+fixed seed always produces the same alert stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple)
+
+from ..telemetry.events import EventStream
+
+__all__ = [
+    "AlertRecord",
+    "DEFAULT_SLOS",
+    "SloEngine",
+    "SloSpec",
+]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service class's objective.
+
+    Attributes:
+        service_class: The class label (e.g. ``"Guaranteed"``), as in
+            :attr:`repro.qos.parameters.ServiceClass.value`.
+        availability: Target fraction of active session time that must
+            be violation-free (``0 < availability < 1``).
+        windows: Trailing burn-rate windows, in sim seconds,
+            shortest first.
+        burn_threshold: Burn rate at or above which an alert fires.
+    """
+
+    service_class: str
+    availability: float
+    windows: "Tuple[float, ...]" = (60.0, 300.0)
+    burn_threshold: float = 2.0
+
+    @property
+    def budget(self) -> float:
+        """The violation budget: allowed bad-time fraction."""
+        return 1.0 - self.availability
+
+
+#: Default objectives for the two monitored classes.  Best-effort has
+#: no SLA and therefore no objective.
+DEFAULT_SLOS: "Tuple[SloSpec, ...]" = (
+    SloSpec(service_class="Guaranteed", availability=0.999),
+    SloSpec(service_class="Controlled-load", availability=0.95),
+)
+
+
+@dataclass(frozen=True)
+class AlertRecord:
+    """A deterministic burn-rate alert (transition into burn)."""
+
+    time: float
+    service_class: str
+    window: float
+    burn_rate: float
+    threshold: float
+    budget: float
+
+
+class _SlaTrack:
+    """Per-SLA active/violating interval bookkeeping."""
+
+    __slots__ = ("service_class", "started", "ended", "active",
+                 "violation_since", "bad")
+
+    def __init__(self, service_class: str, started: float) -> None:
+        self.service_class = service_class
+        self.started = started
+        self.ended: Optional[float] = None
+        self.active = True
+        self.violation_since: Optional[float] = None
+        self.bad: "List[Tuple[float, float]]" = []
+
+
+def _overlap(start: float, end: float, lo: float, hi: float) -> float:
+    """Length of ``[start, end] ∩ [lo, hi]`` (0 when disjoint)."""
+    return max(0.0, min(end, hi) - max(start, lo))
+
+
+class SloEngine:
+    """Evaluates per-class SLO health from session and violation feeds.
+
+    Args:
+        now: Clock callable (``lambda: sim.now``).
+        specs: Objectives to enforce; :data:`DEFAULT_SLOS` when
+            omitted.  Classes without a spec are tracked but never
+            alert.
+        stream: Optional shared event stream; alerts are emitted there
+            under the ``"slo"`` category.
+        occupancy: Optional callable returning a capacity-occupancy
+            summary (e.g. the ``repro_capacity_utilization``
+            time-weighted mean) folded into snapshots for context.
+
+    Feed hooks (:meth:`session_started`, :meth:`session_ended`,
+    :meth:`on_violation`, :meth:`on_restoration`) are cheap interval
+    bookkeeping; the trailing-window clipping happens only inside
+    :meth:`snapshot` / :meth:`evaluate`.
+    """
+
+    def __init__(self, now: "Callable[[], float]", *,
+                 specs: "Optional[Tuple[SloSpec, ...]]" = None,
+                 stream: Optional[EventStream] = None,
+                 occupancy: "Optional[Callable[[], Mapping[str, float]]]"
+                 = None) -> None:
+        self._now = now
+        self._specs = {spec.service_class: spec
+                       for spec in (DEFAULT_SLOS if specs is None
+                                    else specs)}
+        self._stream = stream
+        self._occupancy = occupancy
+        self._tracks: "Dict[int, _SlaTrack]" = {}
+        self._alerts: "List[AlertRecord]" = []
+        self._burning: "Dict[Tuple[str, float], bool]" = {}
+
+    @property
+    def specs(self) -> "Dict[str, SloSpec]":
+        """The installed objectives keyed by service class (a copy)."""
+        return dict(self._specs)
+
+    @property
+    def alerts(self) -> "List[AlertRecord]":
+        """All alerts fired so far, in emit order (a copy)."""
+        return list(self._alerts)
+
+    # ------------------------------------------------------------------
+    # Feed hooks
+    # ------------------------------------------------------------------
+
+    def session_started(self, sla_id: int, service_class: str,
+                        time: float) -> None:
+        """An SLA's session went active."""
+        self._tracks[sla_id] = _SlaTrack(service_class, time)
+
+    def session_ended(self, sla_id: int, time: float) -> None:
+        """An SLA's session closed (violations close with it)."""
+        track = self._tracks.get(sla_id)
+        if track is None or not track.active:
+            return
+        if track.violation_since is not None:
+            track.bad.append((track.violation_since, time))
+            track.violation_since = None
+        track.ended = time
+        track.active = False
+
+    def on_violation(self, sla_id: int, time: float) -> None:
+        """The verifier saw this SLA transition into violation."""
+        track = self._tracks.get(sla_id)
+        if track is None or not track.active:
+            return
+        if track.violation_since is None:
+            track.violation_since = time
+
+    def on_restoration(self, sla_id: int, time: float) -> None:
+        """The verifier saw this SLA restored to conformance."""
+        track = self._tracks.get(sla_id)
+        if track is None:
+            return
+        if track.violation_since is not None:
+            track.bad.append((track.violation_since, time))
+            track.violation_since = None
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _class_intervals(self) -> "Dict[str, Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]]":
+        """Per class: (active intervals, bad intervals) up to now."""
+        now = self._now()
+        per_class: "Dict[str, Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]]" = {}
+        for sla_id in sorted(self._tracks):
+            track = self._tracks[sla_id]
+            active, bad = per_class.setdefault(track.service_class,
+                                               ([], []))
+            end = now if track.active else (track.ended
+                                            if track.ended is not None
+                                            else now)
+            active.append((track.started, end))
+            bad.extend(track.bad)
+            if track.violation_since is not None and track.active:
+                bad.append((track.violation_since, now))
+        return per_class
+
+    def snapshot(self, time: Optional[float] = None
+                 ) -> "Dict[str, Dict[str, Any]]":
+        """Per-class SLO state at ``time`` (defaults to now).
+
+        Each entry reports total active time, bad (violating) time,
+        achieved availability, the budget, and the burn rate per
+        configured window; plus the occupancy context when an
+        occupancy callable was wired.
+        """
+        now = self._now() if time is None else time
+        report: "Dict[str, Dict[str, Any]]" = {}
+        for service_class, (active, bad) in sorted(
+                self._class_intervals().items()):
+            spec = self._specs.get(service_class)
+            active_total = sum(hi - lo for lo, hi in active)
+            bad_total = sum(hi - lo for lo, hi in bad)
+            availability = (1.0 if active_total <= 0.0
+                            else 1.0 - bad_total / active_total)
+            entry: "Dict[str, Any]" = {
+                "sessions": len(active),
+                "active_time": round(active_total, 9),
+                "bad_time": round(bad_total, 9),
+                "availability": round(availability, 9),
+            }
+            if spec is not None:
+                entry["objective"] = spec.availability
+                entry["budget"] = round(spec.budget, 9)
+                burn: "Dict[str, float]" = {}
+                for window in spec.windows:
+                    lo = now - window
+                    active_w = sum(_overlap(start, end, lo, now)
+                                   for start, end in active)
+                    bad_w = sum(_overlap(start, end, lo, now)
+                                for start, end in bad)
+                    if active_w <= 0.0 or spec.budget <= 0.0:
+                        rate = 0.0
+                    else:
+                        rate = (bad_w / active_w) / spec.budget
+                    burn[f"{window:g}s"] = round(rate, 9)
+                entry["burn_rate"] = burn
+            report[service_class] = entry
+        if self._occupancy is not None:
+            occupancy = dict(self._occupancy())
+            if occupancy:
+                report["_occupancy"] = {key: round(float(value), 9)
+                                        for key, value
+                                        in sorted(occupancy.items())}
+        return report
+
+    def evaluate(self, time: Optional[float] = None
+                 ) -> "List[AlertRecord]":
+        """Compute burn rates and fire alerts on threshold transitions.
+
+        Returns the alerts fired by *this* evaluation (often empty);
+        an alert fires only when a ``(class, window)`` pair crosses
+        from below to at-or-above the spec's threshold, so repeated
+        evaluations inside a sustained burn produce exactly one alert.
+        """
+        now = self._now() if time is None else time
+        snapshot = self.snapshot(now)
+        fired: "List[AlertRecord]" = []
+        for service_class in sorted(snapshot):
+            entry = snapshot[service_class]
+            spec = self._specs.get(service_class)
+            if spec is None or "burn_rate" not in entry:
+                continue
+            for window in spec.windows:
+                rate = entry["burn_rate"][f"{window:g}s"]
+                key = (service_class, window)
+                burning = rate >= spec.burn_threshold
+                if burning and not self._burning.get(key, False):
+                    alert = AlertRecord(time=now,
+                                        service_class=service_class,
+                                        window=window, burn_rate=rate,
+                                        threshold=spec.burn_threshold,
+                                        budget=round(spec.budget, 9))
+                    self._alerts.append(alert)
+                    fired.append(alert)
+                    if self._stream is not None:
+                        self._stream.emit(
+                            now, "slo",
+                            f"burn-rate alert: {service_class} "
+                            f"{window:g}s window",
+                            service_class=service_class, window=window,
+                            burn_rate=rate,
+                            threshold=spec.burn_threshold,
+                            budget=round(spec.budget, 9))
+                self._burning[key] = burning
+        return fired

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.testbed import (Testbed, build_testbed, install_chaos,
-                            install_telemetry)
+                            install_observability)
 from ..errors import GQoSMError, ValidationError
 from ..qos.classes import ServiceClass
 from ..qos.parameters import Dimension, exact_parameter, range_parameter
@@ -169,7 +169,8 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
                     chaos_seed: Optional[int] = None,
                     drop: float = 0.1, delay: float = 0.1,
                     duplicate: float = 0.0, error: float = 0.0,
-                    reorder: float = 0.0) -> ReplayResult:
+                    reorder: float = 0.0,
+                    with_journal: bool = False) -> ReplayResult:
     """Replay one scenario end to end; returns the metric report.
 
     Args:
@@ -180,6 +181,10 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
         chaos_seed: When set, arms PR-3 fault injection on the bus
             (with the remaining keyword rates) and switches admission
             to the sequential fault-tolerant path.
+        with_journal: Install an in-memory PR-5 journal so decision
+            records carry real LSN stamps (``repro obs`` passes this;
+            off by default because journaling is not part of the
+            pinned regression profile).
     """
     if isinstance(spec, str):
         from .atlas import get_scenario
@@ -195,7 +200,11 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
     if chaos_seed is not None:
         install_chaos(testbed, chaos_seed, drop=drop, delay=delay,
                       duplicate=duplicate, error=error, reorder=reorder)
-    telemetry = install_telemetry(testbed)
+    decisions, slo = install_observability(testbed)
+    telemetry = testbed.telemetry
+    if with_journal:
+        from ..recovery.recover import install_journal
+        install_journal(testbed)
     broker = testbed.broker
     sim = testbed.sim
     broker.verifier.start_polling(sample_interval)
@@ -253,6 +262,7 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
 
     def sample() -> None:
         checkpoints.audit(testbed)
+        slo.evaluate(sim.now)
         if sim.now + sample_interval <= spec.horizon + _EPSILON:
             sim.schedule(sample_interval, sample, label="atlas:sample")
 
@@ -262,6 +272,7 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
     if testbed.gateway is not None:
         testbed.gateway.sweep_stale(0.0)
     checkpoints.audit(testbed)
+    slo.evaluate(sim.now)
 
     report = _build_report(testbed, compiled, telemetry,
                            batch_window=batch_window,
@@ -269,7 +280,8 @@ def replay_scenario(spec: "ScenarioSpec | str", *, seed: int = 0,
                            accepted=accepted, abandoned=abandoned,
                            checkpoints=checkpoints,
                            chaos_seed=chaos_seed,
-                           violating_ids=violating_ids)
+                           violating_ids=violating_ids,
+                           decisions=decisions, slo=slo)
     return ReplayResult(report=report, testbed=testbed,
                         compiled=compiled)
 
@@ -339,12 +351,30 @@ def _schedule_failures(testbed: Testbed, spec: ScenarioSpec) -> None:
                                 label=f"atlas:repair:{track.domain}")
 
 
+def _rejection_reasons(decisions) -> "List[List[object]]":
+    """Top rejection reasons: ``[label, count]`` pairs, most frequent
+    first (ties broken by label), over every admission-path reject."""
+    counts: "Dict[str, int]" = {}
+    for record in decisions.records:
+        if record.action not in ("admission", "best_effort",
+                                 "activation"):
+            continue
+        if record.outcome != "reject":
+            continue
+        label = (f"{record.constraint or 'unspecified'}: "
+                 f"{record.reason or 'no reason recorded'}")
+        counts[label] = counts.get(label, 0) + 1
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [[label, count] for label, count in ordered]
+
+
 def _build_report(testbed: Testbed, compiled: CompiledScenario,
                   telemetry, *, batch_window: float, batches: int,
                   requested, accepted, abandoned: int,
                   checkpoints: _Checkpoints,
                   chaos_seed: Optional[int],
-                  violating_ids: "set") -> "Dict[str, object]":
+                  violating_ids: "set", decisions=None,
+                  slo=None) -> "Dict[str, object]":
     spec = compiled.spec
     broker = testbed.broker
     partition = testbed.partition
@@ -431,4 +461,9 @@ def _build_report(testbed: Testbed, compiled: CompiledScenario,
         "utilization_mean": round(
             metrics.time_gauge("repro_capacity_utilization").mean(), 9),
         "revenue": round(broker.ledger.provider_net(testbed.sim.now), 9),
+        "rejection_reasons": (_rejection_reasons(decisions)
+                              if decisions is not None else []),
+        "slo": ({"classes": slo.snapshot(testbed.sim.now),
+                 "alerts": len(slo.alerts)}
+                if slo is not None else None),
     }

@@ -596,6 +596,87 @@ class TestHotPathAllocation:
 
 
 # ----------------------------------------------------------------------
+# QLNT116 — reject/degrade path without a decision record
+# ----------------------------------------------------------------------
+
+class TestDecisionProvenance:
+    BROKER = "src/repro/core/broker.py"
+    OPTIMIZER = "src/repro/core/optimizer.py"
+
+    def test_silent_reject_counter_flags(self, run):
+        snippet = ("class Broker:\n"
+                   "    def _negotiate(self, request):\n"
+                   "        self.stats.rejected_capacity += 1\n"
+                   "        return None\n")
+        findings = run(snippet, relpath=self.BROKER, rule_id="QLNT116")
+        assert findings and "rejected_capacity" in findings[0].message
+        assert "_decide" in findings[0].message
+
+    def test_reject_with_decide_is_clean(self, run):
+        snippet = ("class Broker:\n"
+                   "    def _negotiate(self, request):\n"
+                   "        self.stats.rejected_capacity += 1\n"
+                   "        self._decide('admission', 'reject')\n"
+                   "        return None\n")
+        assert run(snippet, relpath=self.BROKER,
+                   rule_id="QLNT116") == []
+
+    def test_degrade_counter_flags(self, run):
+        snippet = ("class Adapter:\n"
+                   "    def on_degradation(self, sla):\n"
+                   "        self.stats.squeezes += 1\n")
+        findings = run(snippet, relpath="src/repro/core/scenarios.py",
+                       rule_id="QLNT116")
+        assert findings and "squeezes" in findings[0].message
+
+    def test_decisions_decide_satisfies(self, run):
+        snippet = ("class Adapter:\n"
+                   "    def on_degradation(self, sla):\n"
+                   "        self.stats.squeezes += 1\n"
+                   "        broker.decisions.decide('adaptation',\n"
+                   "                                'squeeze')\n")
+        assert run(snippet, relpath="src/repro/core/scenarios.py",
+                   rule_id="QLNT116") == []
+
+    def test_solver_result_without_hook_flags(self, run):
+        snippet = ("def greedy_optimize(services, capacity):\n"
+                   "    return OptimizationResult(True, {}, 0.0, {})\n")
+        findings = run(snippet, relpath=self.OPTIMIZER,
+                       rule_id="QLNT116")
+        assert findings and "OptimizationResult" in findings[0].message
+
+    def test_solver_result_with_hook_is_clean(self, run):
+        snippet = ("def greedy_optimize(services, capacity, *,\n"
+                   "                    on_decision=None):\n"
+                   "    result = OptimizationResult(True, {}, 0.0, {})\n"
+                   "    if on_decision is not None:\n"
+                   "        on_decision(result)\n"
+                   "    return result\n")
+        assert run(snippet, relpath=self.OPTIMIZER,
+                   rule_id="QLNT116") == []
+
+    def test_solver_result_outside_optimizer_ignored(self, run):
+        # Constructing a result object is only a verdict in the solver.
+        snippet = ("class Broker:\n"
+                   "    def summarize(self):\n"
+                   "        return OptimizationResult(True, {}, 0.0, {})\n")
+        assert run(snippet, relpath=self.BROKER,
+                   rule_id="QLNT116") == []
+
+    def test_counter_increment_at_module_level_ignored(self, run):
+        snippet = ("stats.rejected_capacity += 1\n")
+        assert run(snippet, relpath=self.BROKER,
+                   rule_id="QLNT116") == []
+
+    def test_other_modules_are_out_of_scope(self, run):
+        snippet = ("class Verifier:\n"
+                   "    def check(self):\n"
+                   "        self.stats.rejected_capacity += 1\n")
+        assert run(snippet, relpath="src/repro/monitoring/verifier.py",
+                   rule_id="QLNT116") == []
+
+
+# ----------------------------------------------------------------------
 # Catalogue invariants
 # ----------------------------------------------------------------------
 
@@ -606,5 +687,5 @@ def test_rule_catalogue_is_stable():
     assert len(ids) == len(set(ids))
     assert len(ids) >= 8
     assert all(rule.title for rule in rules)
-    expected = {f"QLNT1{n:02d}" for n in range(1, 16)}
+    expected = {f"QLNT1{n:02d}" for n in range(1, 17)}
     assert set(ids) == expected

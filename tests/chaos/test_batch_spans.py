@@ -1,0 +1,89 @@
+"""The ``batch_admission`` span roots every per-request tree.
+
+``request_services`` defers rebalances and group-commits the journal,
+so the per-request spans (negotiate / establish / activate-session) no
+longer stand alone: they must hang off one enclosing
+``batch_admission`` span per call, keeping each batch one connected
+trace — with and without fault injection armed on the bus.
+"""
+
+from __future__ import annotations
+
+from repro.core.testbed import build_testbed, install_chaos, \
+    install_telemetry
+
+from .conftest import guaranteed_request
+
+
+def _admit_batch(testbed, count: int):
+    telemetry = install_telemetry(testbed)
+    requests = [guaranteed_request(client=f"user{i}", cpu=2,
+                                   with_network=False)
+                for i in range(count)]
+    outcomes = testbed.broker.request_services(requests)
+    return telemetry, outcomes
+
+
+def _assert_one_connected_batch_trace(spans, batch_size: int):
+    roots = [span for span in spans if span.name == "batch_admission"]
+    assert len(roots) == 1, "one batch call must open one batch span"
+    root = roots[0]
+    assert root.attributes["batch_size"] == batch_size
+    by_id = {span.span_id: span for span in spans}
+    in_trace = [span for span in spans
+                if span.trace_id == root.trace_id]
+    # Every per-request admission span reaches the batch root.
+    names = {span.name for span in in_trace}
+    assert {"negotiate", "establish"} <= names
+    for span in in_trace:
+        node = span
+        hops = 0
+        while node.span_id != root.span_id:
+            parent = by_id.get(node.parent_id)
+            assert parent is not None, (
+                f"span {node.name}/{node.span_id} is disconnected "
+                f"from the batch_admission root")
+            assert parent.trace_id == node.trace_id
+            node = parent
+            hops += 1
+            assert hops < 100, "span parent chain did not terminate"
+
+
+class TestBatchSpanEnclosure:
+    def test_batch_forms_one_connected_tree(self):
+        testbed = build_testbed()
+        telemetry, outcomes = _admit_batch(testbed, 3)
+        assert all(outcome.accepted for outcome in outcomes)
+        _assert_one_connected_batch_trace(telemetry.tracer.spans, 3)
+
+    def test_batch_with_rejects_stays_connected(self):
+        testbed = build_testbed()
+        telemetry = install_telemetry(testbed)
+        requests = [
+            guaranteed_request(client="fits", cpu=2,
+                               with_network=False),
+            guaranteed_request(client="too-big", cpu=20,
+                               with_network=False),
+        ]
+        outcomes = testbed.broker.request_services(requests)
+        assert outcomes[0].accepted and not outcomes[1].accepted
+        _assert_one_connected_batch_trace(telemetry.tracer.spans, 2)
+
+    def test_batch_under_chaos_stays_connected(self):
+        testbed = build_testbed()
+        install_chaos(testbed, seed=11, drop=0.15, duplicate=0.1,
+                      delay=0.1, error=0.05)
+        telemetry, outcomes = _admit_batch(testbed, 3)
+        assert outcomes, "batch call returned no outcomes"
+        testbed.sim.run(until=50.0)
+        _assert_one_connected_batch_trace(telemetry.tracer.spans, 3)
+
+    def test_sequential_admissions_do_not_open_batch_spans(self):
+        testbed = build_testbed()
+        telemetry = install_telemetry(testbed)
+        outcome = testbed.broker.request_service(
+            guaranteed_request(client="solo", cpu=2,
+                               with_network=False))
+        assert outcome.accepted
+        names = {span.name for span in telemetry.tracer.spans}
+        assert "batch_admission" not in names

@@ -1,0 +1,132 @@
+"""Flight recorder acceptance: every verdict explained, byte-stable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.workloads.atlas import DEFAULT_SEED
+from repro.workloads.replay import replay_scenario
+
+SCENARIO = "diurnal_day"
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    return replay_scenario(SCENARIO, seed=DEFAULT_SEED,
+                           with_journal=True)
+
+
+@pytest.fixture(scope="module")
+def recorder(replayed):
+    testbed = replayed.testbed
+    return FlightRecorder(
+        decisions=testbed.decisions,
+        tracer=testbed.telemetry.tracer,
+        journal=testbed.journal,
+        slo=testbed.slo)
+
+
+class TestCompleteness:
+    def test_every_sla_class_request_has_a_terminal_verdict(
+            self, replayed):
+        report = replayed.report
+        decisions = replayed.testbed.decisions
+        admissions = decisions.by_action("admission")
+        assert len(admissions) == (report["guaranteed_requests"]
+                                   + report["controlled_requests"])
+        accepts = [r for r in admissions if r.outcome == "accept"]
+        assert len(accepts) == (report["guaranteed_accepted"]
+                                + report["controlled_accepted"])
+
+    def test_every_best_effort_request_has_a_verdict(self, replayed):
+        decisions = replayed.testbed.decisions
+        assert len(decisions.by_action("best_effort")) == \
+            replayed.report["best_effort_requests"]
+
+    def test_why_all_explains_every_admission_outcome(
+            self, replayed, recorder):
+        decisions = replayed.testbed.decisions
+        text = recorder.why("all")
+        terminal = [r for r in decisions.records
+                    if r.action in ("admission", "best_effort",
+                                    "activation")]
+        assert text.count("== ") == len(terminal)
+        for record in terminal:
+            if record.outcome == "reject":
+                assert record.constraint, (
+                    f"reject without constraint: {record}")
+        # Accepts cite the revenue of the chosen point; rejects name
+        # the failing constraint.
+        assert "revenue_rate=" in text
+        assert "constraint: " in text
+
+    def test_why_single_sla_filters_to_that_episode(
+            self, replayed, recorder):
+        decisions = replayed.testbed.decisions
+        accept = [r for r in decisions.by_action("admission")
+                  if r.outcome == "accept"][0]
+        text = recorder.why(accept.sla_id)
+        assert f"# why: sla-{accept.sla_id}" in text
+        assert "admission accept" in text
+
+    def test_unknown_subject_reports_empty(self, recorder):
+        text = recorder.why("nobody-ever")
+        assert "0 decision(s)" in text
+        assert "(no decisions recorded)" in text
+
+
+class TestStamps:
+    def test_decisions_carry_span_and_lsn_stamps(self, replayed):
+        decisions = replayed.testbed.decisions
+        accepts = [r for r in decisions.by_action("admission")
+                   if r.outcome == "accept"]
+        assert accepts
+        assert all(r.trace_id and r.span_id for r in accepts), \
+            "accepts inside request_services must carry the span stamp"
+        assert any(r.lsn > 0 for r in accepts), \
+            "journaled replay must stamp durable LSNs"
+
+    def test_timeline_joins_all_three_sources(self, replayed, recorder):
+        decisions = replayed.testbed.decisions
+        accept = [r for r in decisions.by_action("admission")
+                  if r.outcome == "accept"][0]
+        text = recorder.timeline(accept.sla_id)
+        assert f"# timeline: sla-{accept.sla_id}" in text
+        assert "journal  lsn=" in text
+        assert "decision admission accept" in text
+        assert "span     " in text
+
+
+class TestSloReport:
+    def test_report_carries_slo_and_rejection_sections(self, replayed):
+        report = replayed.report
+        assert report["slo"] is not None
+        classes = report["slo"]["classes"]
+        assert "Guaranteed" in classes
+        assert "burn_rate" in classes["Guaranteed"]
+        assert isinstance(report["rejection_reasons"], list)
+        for label, count in report["rejection_reasons"]:
+            assert ": " in label and count >= 1
+
+    def test_slo_report_renders_budgets_and_alerts(self, recorder,
+                                                   replayed):
+        text = recorder.slo_report(replayed.testbed.sim.now)
+        assert text.startswith("# slo")
+        assert "class Guaranteed:" in text
+        assert "budget: 0.001" in text
+        assert "alerts: " in text
+
+
+class TestDeterminism:
+    def test_double_replay_is_byte_identical(self, replayed, recorder):
+        again = replay_scenario(SCENARIO, seed=DEFAULT_SEED,
+                                with_journal=True)
+        testbed = again.testbed
+        recorder_b = FlightRecorder(
+            decisions=testbed.decisions,
+            tracer=testbed.telemetry.tracer,
+            journal=testbed.journal,
+            slo=testbed.slo)
+        assert recorder.why("all") == recorder_b.why("all")
+        assert replayed.report_json() == again.report_json()

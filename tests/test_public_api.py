@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.telemetry",
+    "repro.obs",
 ]
 
 
