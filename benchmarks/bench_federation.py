@@ -1,0 +1,168 @@
+"""Federation overhead — admission throughput and reroute latency.
+
+The federated control plane puts every domain behind one shared bus
+and routes each admission through a home-domain decision; the question
+this bench answers is what that costs as the federation grows, and how
+expensive the robustness path (home down, reroute to a survivor) is.
+
+Measured here, written to ``benchmarks/BENCH_federation.json``, for
+N = 1, 2 and 4 domains:
+
+* ``admissions_per_s`` — batch=64 guaranteed admissions/sec through
+  :meth:`FederatedControlPlane.request_services` with homes assigned
+  round-robin (every request fits its home, so this is the local fast
+  path plus federation bookkeeping);
+* ``reroute_latency_s`` — mean wall-clock seconds per admission whose
+  home broker is crashed: the plane detects the dead home, picks the
+  acting survivor, records the reroute decision and admits there
+  (``None`` at N=1 — no survivor exists).
+
+``BENCH_FEDERATION_SMOKE=1`` reduces the workload for
+``scripts/check.sh``: same schema and assertions, no artifact write.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from typing import Dict, Optional
+
+from repro.federation.plane import FederatedControlPlane
+from repro.qos.classes import ServiceClass
+from repro.qos.parameters import Dimension, exact_parameter
+from repro.qos.specification import QoSSpecification
+from repro.sla.negotiation import ServiceRequest
+
+from .conftest import report, write_artifact
+
+ARTIFACT_NAME = "BENCH_federation.json"
+
+SMOKE = bool(os.environ.get("BENCH_FEDERATION_SMOKE"))
+#: Timed admissions per domain count.
+ADMISSIONS = 128 if SMOKE else 2048
+BATCH_SIZE = 64
+#: Timed rerouted admissions (home crashed) per domain count.
+REROUTES = 16 if SMOKE else 256
+DOMAIN_COUNTS = (1, 2, 4)
+
+#: One shared validity window — keeps every slot-table probe O(1).
+WINDOW = (0.0, 1_000_000.0)
+
+
+def _request(index: int) -> ServiceRequest:
+    specification = QoSSpecification.from_iterable([
+        exact_parameter(Dimension.CPU, 1),
+        exact_parameter(Dimension.MEMORY_MB, 64),
+    ])
+    return ServiceRequest(
+        client=f"user{index}", service_name="simulation-service",
+        service_class=ServiceClass.GUARANTEED,
+        specification=specification, start=WINDOW[0], end=WINDOW[1])
+
+
+def _build_plane(domains: int) -> FederatedControlPlane:
+    """A plane whose every domain can hold the full timed workload."""
+    headroom = ADMISSIONS + REROUTES + 1000
+    return FederatedControlPlane(
+        domains=domains, seed=0,
+        testbed_defaults={
+            "total_cpu": headroom + 1000,
+            "guaranteed_cpu": headroom,
+            "adaptive_cpu": 600, "best_effort_cpu": 400,
+            "machine_nodes": 2 * (headroom + 1000),
+            "memory_mb": float(headroom) * 64.0 * 2,
+            "disk_mb": float(headroom) * 64.0 * 4,
+        })
+
+
+def _measure(domains: int) -> Dict[str, object]:
+    plane = _build_plane(domains)
+    names = plane.names
+    requests = [_request(index) for index in range(ADMISSIONS)]
+    homes = [names[index % domains] for index in range(ADMISSIONS)]
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for offset in range(0, ADMISSIONS, BATCH_SIZE):
+            plane.request_services(
+                requests[offset:offset + BATCH_SIZE],
+                homes=homes[offset:offset + BATCH_SIZE])
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    assert plane.stats["local"] == ADMISSIONS, (
+        "benchmark workload was not all admitted locally: "
+        f"{plane.stats}")
+
+    reroute_latency: Optional[float] = None
+    if domains >= 2:
+        plane.crash_broker(names[0])
+        rerouted = [_request(ADMISSIONS + index)
+                    for index in range(REROUTES)]
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            for request in rerouted:
+                plane.request_service(request, home=names[0])
+            reroute_elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        assert plane.stats["rerouted"] == REROUTES, (
+            f"expected {REROUTES} reroutes: {plane.stats}")
+        reroute_latency = reroute_elapsed / REROUTES
+
+    return {
+        "domains": domains,
+        "admissions": ADMISSIONS,
+        "batch_size": BATCH_SIZE,
+        "elapsed_s": elapsed,
+        "admissions_per_s": ADMISSIONS / elapsed,
+        "reroutes": REROUTES if domains >= 2 else 0,
+        "reroute_latency_s": reroute_latency,
+    }
+
+
+def validate_schema(results: Dict[str, object]) -> None:
+    """Assert the artifact shape ``scripts/check.sh`` smoke relies on."""
+    for key in ("workload", "admissions", "batch_size", "domain_counts",
+                "domains"):
+        assert key in results, f"BENCH_federation results missing {key!r}"
+    for count in DOMAIN_COUNTS:
+        entry = results["domains"][str(count)]
+        for key in ("domains", "admissions", "batch_size", "elapsed_s",
+                    "admissions_per_s", "reroutes", "reroute_latency_s"):
+            assert key in entry, f"N={count} entry missing {key!r}"
+        assert entry["elapsed_s"] > 0.0
+        if count == 1:
+            assert entry["reroute_latency_s"] is None
+        else:
+            assert entry["reroute_latency_s"] > 0.0
+
+
+def test_federation_scaling_artifact():
+    measured = {str(count): _measure(count) for count in DOMAIN_COUNTS}
+    results = {
+        "workload": f"GUARANTEED admissions (CPU=1, 64MB, shared "
+                    f"window), homes round-robin, batch={BATCH_SIZE}, "
+                    f"{ADMISSIONS} timed admissions and {REROUTES} "
+                    f"timed reroutes (home crashed) per domain count",
+        "admissions": ADMISSIONS,
+        "batch_size": BATCH_SIZE,
+        "domain_counts": list(DOMAIN_COUNTS),
+        "domains": measured,
+    }
+    validate_schema(results)
+    if not SMOKE:
+        write_artifact(ARTIFACT_NAME, results)
+
+    lines = []
+    for count in DOMAIN_COUNTS:
+        entry = measured[str(count)]
+        latency = entry["reroute_latency_s"]
+        lines.append(
+            f"N={count}: {entry['admissions_per_s']:>10.0f} admissions/s"
+            + (f"   reroute {latency * 1e6:>8.1f} us"
+               if latency is not None else "   reroute        n/a"))
+    report("Federation — admission throughput and reroute latency"
+           + (" [SMOKE]" if SMOKE else ""), "\n".join(lines))

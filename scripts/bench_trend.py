@@ -62,6 +62,10 @@ def _throughput_batch64(data: "Dict[str, Any]") -> float:
 HEADLINES: "Dict[str, Tuple[str, Callable[[Dict[str, Any]], float], str]]" = {
     "BENCH_chaos.json": (
         "completion_rate_at_max_drop", _chaos_completion, "higher"),
+    "BENCH_federation.json": (
+        "fed2_admissions_per_s",
+        lambda data: float(data["domains"]["2"]["admissions_per_s"]),
+        "higher"),
     "BENCH_obs.json": (
         "disabled_admissions_per_s",
         lambda data: float(data["disabled"]["admissions_per_s"]),

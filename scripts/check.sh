@@ -84,6 +84,15 @@ BENCH_OBS_SMOKE=1 python -m pytest \
     benchmarks/bench_obs_overhead.py -q > /dev/null
 echo "obs-overhead smoke OK (guards free when disabled)"
 
+echo "== federation smoke (reduced scaling run) =="
+# Reduced-n run of the federation benchmark: asserts the
+# BENCH_federation.json schema and exercises the crashed-home reroute
+# path at N=2 and N=4. The full run at n=2048 stays manual:
+#   python -m pytest benchmarks/bench_federation.py -s
+BENCH_FEDERATION_SMOKE=1 python -m pytest \
+    benchmarks/bench_federation.py -q > /dev/null
+echo "federation smoke OK (reroute path at N=2/4)"
+
 echo "== bench trend (headline regression gate) =="
 # Every BENCH_*.json headline metric vs the recorded baseline in
 # benchmarks/BENCH_trend.json; >20% regression in the bad direction

@@ -20,6 +20,7 @@ QLNT113   Private mutable counter shadowing the metrics registry
 QLNT114   Journaled state mutated outside the journal API
 QLNT115   Object allocation in the DES/slot-table hot loop
 QLNT116   Reject/degrade path without a decision record
+QLNT117   Raw bus send inside ``repro.federation``
 ========  ==============================================================
 """
 
@@ -29,6 +30,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     determinism,
     exceptions,
     exports,
+    federation,
     floats,
     hotpaths,
     hygiene,
@@ -44,6 +46,7 @@ __all__ = [
     "determinism",
     "exceptions",
     "exports",
+    "federation",
     "floats",
     "hotpaths",
     "hygiene",

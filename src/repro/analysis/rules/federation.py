@@ -1,0 +1,61 @@
+"""QLNT117 — raw bus sends inside the federation package.
+
+Cross-domain traffic is the one place a raw ``bus.request`` is
+guaranteed to meet injected faults: the peer may be crashed, the link
+partitioned, the circuit open. Every send in ``repro.federation`` must
+therefore go through a :class:`~repro.xmlmsg.resilient.ResilientCaller`
+(``caller.call(...)``), which owns the retry/timeout/circuit-breaker
+story and turns transport failures into the reroute path instead of an
+unhandled :class:`~repro.errors.MessageDropped`. QLNT112 covers
+``core``/``sla``; this rule extends the same contract to the
+federation control plane, where it is load-bearing for the crash-point
+sweep.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import ModuleContext, Rule, Severity, register
+
+#: Receiver names that denote the message bus.
+_BUS_NAMES = ("bus", "_bus")
+
+#: Bus methods that put an envelope on the wire.
+_SEND_METHODS = ("request", "send_async")
+
+
+def _receiver_name(node: ast.expr) -> "str | None":
+    """The simple name a call receiver goes by (``bus``,
+    ``self._bus``, ``plane.bus`` ...), or ``None`` otherwise."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class RawFederationSendRule(Rule):
+    rule_id = "QLNT117"
+    title = "raw bus send inside repro.federation"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def applies_to(self, relpath: str) -> bool:
+        normalized = relpath.replace("\\", "/")
+        return "repro/federation/" in normalized
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _SEND_METHODS):
+            return
+        receiver = _receiver_name(func.value)
+        if receiver in _BUS_NAMES:
+            ctx.report(self, node,
+                       f"cross-domain bus.{func.attr}() bypasses the "
+                       "retry/timeout/circuit-breaker path; route "
+                       "federation sends through a ResilientCaller "
+                       "(caller.call(...))")

@@ -260,6 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: diurnal_day)")
     obs.add_argument("--seed", type=int, default=2003,
                      help="replay seed (default: 2003)")
+
+    federate = subparsers.add_parser(
+        "federate", help="federated control plane: N broker domains, "
+                         "one crashed at t=30 and rejoined at t=60, "
+                         "with cross-domain rerouting explained")
+    federate.add_argument("--domains", type=int, default=3,
+                          help="number of broker domains (default: 3)")
+    federate.add_argument("--crash", type=int, default=7, metavar="SEED",
+                          help="seed picking the crashed domain and "
+                               "the tenant workload (default: 7)")
+    federate.add_argument("--horizon", type=float, default=120.0,
+                          help="episode horizon (default: 120)")
     return parser
 
 
@@ -306,6 +318,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federate(args: argparse.Namespace) -> int:
+    from .federation.demo import run_federate_demo
+    result = run_federate_demo(domains=args.domains,
+                               crash_seed=args.crash,
+                               horizon=args.horizon)
+    print(result.text, end="")
+    return 1 if (result.problems or result.unexplained_reroutes) else 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "telemetry": _cmd_telemetry,
@@ -315,6 +336,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "reserve": _cmd_reserve,
     "obs": _cmd_obs,
+    "federate": _cmd_federate,
 }
 
 

@@ -39,7 +39,8 @@ from .optimizer import (
 )
 from .reservation_system import CompositeReservation, ReservationSystem
 from .scenarios import ScenarioEngine
-from .testbed import Testbed, attach_control_plane, build_testbed, install_chaos
+from .testbed import (Testbed, attach_control_plane, build_testbed,
+                      install_all, install_chaos)
 
 __all__ = [
     "AQoSBroker",
@@ -64,5 +65,6 @@ __all__ = [
     "build_testbed",
     "exact_optimize",
     "greedy_optimize",
+    "install_all",
     "install_chaos",
 ]

@@ -95,7 +95,10 @@ class Testbed:
         caller = ResilientCaller(
             self.bus, rng=self.rng.stream(f"caller:{name}"),
             policy=policy, trace=self.trace, name=name)
-        return ClientStub(name, self.bus, caller=caller)
+        gateway_name = (self.gateway.endpoint_name
+                        if self.gateway is not None else "aqos")
+        return ClientStub(name, self.bus, gateway_name=gateway_name,
+                          caller=caller)
 
 
 def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
@@ -108,22 +111,33 @@ def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
                   seed: int = 0,
                   optimizer_interval: float = 0.0,
                   pricing: Optional[PricingPolicy] = None,
-                  register_default_services: bool = True) -> Testbed:
+                  register_default_services: bool = True,
+                  sim: Optional[Simulator] = None,
+                  trace: Optional[TraceRecorder] = None,
+                  rng: Optional[RandomSource] = None,
+                  machine_name: Optional[str] = None,
+                  sla_first_id: int = 1000) -> Testbed:
     """Build the Figure 5 testbed with the Section 5.6 proportions.
 
     The default capacity split is the paper's: 26 grid-exposed nodes
     partitioned ``Cg=15, Ca=6, Cb=5`` on a 64-node machine, with a
     622 Mbps backbone between the sites of the example.
+
+    ``sim``/``trace``/``rng`` may be passed to embed the testbed into
+    shared infrastructure (the federation builds one testbed per
+    domain over a single simulator and recorder); when omitted each
+    testbed owns fresh instances, exactly as before.
     """
     if guaranteed_cpu + adaptive_cpu + best_effort_cpu != total_cpu:
         raise ValidationError(
             f"partition {guaranteed_cpu}+{adaptive_cpu}+{best_effort_cpu} "
             f"!= total {total_cpu}")
-    sim = Simulator()
-    trace = TraceRecorder()
-    rng = RandomSource(seed)
+    sim = sim if sim is not None else Simulator()
+    trace = trace if trace is not None else TraceRecorder()
+    rng = rng if rng is not None else RandomSource(seed)
 
-    machine = Machine("sgi-siteA", machine_nodes, grid_nodes=total_cpu,
+    machine = Machine(machine_name or "sgi-siteA", machine_nodes,
+                      grid_nodes=total_cpu,
                       memory_mb=memory_mb, disk_mb=disk_mb)
     compute_rm = ComputeResourceManager(sim, machine, trace=trace)
 
@@ -149,7 +163,7 @@ def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
                         pricing=pricing or PricingPolicy(), trace=trace,
                         mds=InformationService(sim),
                         hub=NotificationHub(),
-                        repository=SLARepository(first_id=1000),
+                        repository=SLARepository(first_id=sla_first_id),
                         optimizer_interval=optimizer_interval)
     return Testbed(sim=sim, trace=trace, rng=rng, machine=machine,
                    compute_rm=compute_rm, topology=topology, nrm=nrm,
@@ -157,7 +171,12 @@ def build_testbed(*, total_cpu: int = 26, guaranteed_cpu: int = 15,
 
 
 def attach_control_plane(testbed: Testbed, *,
-                         latency: float = 0.0) -> Testbed:
+                         latency: float = 0.0,
+                         bus: Optional[MessageBus] = None,
+                         gateway_name: str = "aqos",
+                         registry_name: str = "uddie",
+                         relay_name: Optional[str] = None,
+                         discovery_name: str = "aqos-discovery") -> Testbed:
     """Put the broker's control plane onto the message bus.
 
     After this call the testbed has a gateway (``aqos`` endpoint), a
@@ -166,20 +185,31 @@ def attach_control_plane(testbed: Testbed, *,
     traffic relayed as asynchronous envelopes. Without an installed
     fault plan the transport is perfect, so behaviour is unchanged —
     this wiring only *exposes* the control plane to the chaos layer.
+
+    Pass a shared ``bus`` plus per-domain endpoint names to put many
+    testbeds on one wire (the federation does: ``aqos:d1``,
+    ``uddie:d1``, ... so domains stay addressable side by side).
     """
     if testbed.bus is not None:
         return testbed
-    bus = MessageBus(testbed.sim, trace=testbed.trace, latency=latency)
+    if bus is None:
+        bus = MessageBus(testbed.sim, trace=testbed.trace, latency=latency)
     testbed.bus = bus
-    testbed.gateway = BrokerGateway(testbed.broker, bus)
-    testbed.registry_endpoint = RegistryEndpoint(testbed.registry, bus)
+    testbed.gateway = BrokerGateway(testbed.broker, bus,
+                                    endpoint_name=gateway_name)
+    testbed.registry_endpoint = RegistryEndpoint(
+        testbed.registry, bus, endpoint_name=registry_name)
     testbed.broker.discovery = ResilientDiscovery(
         bus,
         caller=ResilientCaller(bus, rng=testbed.rng.stream("discovery"),
-                               trace=testbed.trace, name="aqos-discovery"),
+                               trace=testbed.trace, name=discovery_name),
+        client_name=discovery_name, registry_name=registry_name,
         trace=testbed.trace, metrics=testbed.broker.metrics)
-    testbed.relay = BusNotificationRelay(testbed.broker.hub, bus)
-    if testbed.telemetry is not None:
+    relay_kwargs = {} if relay_name is None else {
+        "endpoint_name": relay_name}
+    testbed.relay = BusNotificationRelay(testbed.broker.hub, bus,
+                                         **relay_kwargs)
+    if testbed.telemetry is not None and bus.telemetry is None:
         bus.telemetry = testbed.telemetry
     return testbed
 
@@ -267,6 +297,45 @@ def install_chaos(testbed: Testbed, seed: int, *,
     testbed.bus.install_faults(plan)
     testbed.faults = plan
     return plan
+
+
+def install_all(testbed: Testbed, *,
+                latency: float = 0.0,
+                bus: Optional[MessageBus] = None,
+                gateway_name: str = "aqos",
+                registry_name: str = "uddie",
+                relay_name: Optional[str] = None,
+                discovery_name: str = "aqos-discovery",
+                journal_store=None,
+                chaos_seed: Optional[int] = None,
+                chaos_options: Optional[Dict[str, float]] = None
+                ) -> Testbed:
+    """Install every cross-cutting layer on a testbed in one call.
+
+    ``install_chaos``/``install_telemetry``/``install_journal``/
+    ``install_observability`` each hand-wire one concern; standing up
+    a multi-domain deployment by calling them individually makes it
+    easy to skip a layer on one domain and chase the asymmetry for an
+    afternoon. This helper composes all of them — telemetry, control
+    plane (optionally onto a shared ``bus`` under per-domain endpoint
+    names), observability, journal, and (when ``chaos_seed`` is given)
+    fault injection — and is idempotent because each constituent
+    installer is.
+    """
+    install_telemetry(testbed)
+    attach_control_plane(testbed, latency=latency, bus=bus,
+                         gateway_name=gateway_name,
+                         registry_name=registry_name,
+                         relay_name=relay_name,
+                         discovery_name=discovery_name)
+    install_observability(testbed)
+    # Imported here: recovery imports the testbed module for type
+    # hints, so a module-level import would be circular.
+    from ..recovery.recover import install_journal
+    install_journal(testbed, journal_store)
+    if chaos_seed is not None:
+        install_chaos(testbed, chaos_seed, **(chaos_options or {}))
+    return testbed
 
 
 def _register_default_services(registry: UddieRegistry, total_cpu: int,

@@ -165,6 +165,15 @@ class RecoveryError(GQoSMError):
     """
 
 
+class FederationError(GQoSMError):
+    """The federated control plane was driven incorrectly.
+
+    Examples: routing a request to an unknown home domain, crashing a
+    domain that is already down, or declaring a partition whose window
+    ends before it starts.
+    """
+
+
 class BrokerCrash(GQoSMError):
     """A simulated crash of the broker process.
 

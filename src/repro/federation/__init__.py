@@ -1,0 +1,37 @@
+"""Federated multi-broker control plane with failure-domain isolation.
+
+One :class:`~repro.federation.plane.FederatedControlPlane` runs N AQoS
+brokers — each its own failure domain with private capacity, journal
+and registry slice — over the shared XML bus, coordinating admissions
+through a bid/offer/delegate superscheduling protocol with broker
+crash/partition injection, heartbeat-driven peer health, cross-domain
+rerouting, and rejoin reconciliation that rolls back half-delegated
+bookings.
+"""
+
+from .faults import DomainChaos, PartitionWindow
+from .health import PeerHealth
+from .plane import FederatedControlPlane, FederatedOutcome, FederationDomain
+from .protocol import (FederationBid, FederationEndpoint,
+                       IncomingDelegation, compute_bid)
+from .recovery import (FederationRecovery, RejoinReport,
+                       federation_invariants, reconcile_delegations,
+                       scan_delegations)
+
+__all__ = [
+    "DomainChaos",
+    "FederatedControlPlane",
+    "FederatedOutcome",
+    "FederationBid",
+    "FederationDomain",
+    "FederationEndpoint",
+    "FederationRecovery",
+    "IncomingDelegation",
+    "PartitionWindow",
+    "PeerHealth",
+    "RejoinReport",
+    "compute_bid",
+    "federation_invariants",
+    "reconcile_delegations",
+    "scan_delegations",
+]

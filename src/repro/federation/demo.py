@@ -1,0 +1,240 @@
+"""The ``repro federate`` episode: a seeded federation under one crash.
+
+:func:`run_federate_demo` is both the CLI's demonstration and the PR's
+acceptance episode: N domains admit a staggered tenant workload with
+homes assigned round-robin, one broker (picked by the crash seed) is
+killed at ``t=30`` and rejoined at ``t=60``, and the run must end with
+zero guaranteed-SLA violations in the surviving domains, every
+rerouted admission explained by the per-domain decision provenance
+(``repro obs why``-style), and the federation invariants intact.
+
+Everything derives from ``(domains, crash_seed)``, so the rendered
+report is byte-deterministic for fixed arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..errors import SLAError
+from ..obs.flight import FlightRecorder
+from ..qos.classes import ServiceClass
+from ..qos.parameters import Dimension, exact_parameter, range_parameter
+from ..qos.specification import QoSSpecification
+from ..sim.random import RandomSource
+from ..sla.negotiation import ServiceRequest
+from .plane import FederatedControlPlane, FederatedOutcome
+from .recovery import federation_invariants
+
+__all__ = [
+    "FederateDemoResult",
+    "run_federate_demo",
+]
+
+CRASH_AT = 30.0
+RECOVER_AT = 60.0
+
+
+@dataclass
+class FederateDemoResult:
+    """The episode's rendered report plus everything a test asserts."""
+
+    text: str
+    plane: FederatedControlPlane
+    crash_domain: str
+    outcomes: "List[FederatedOutcome]"
+    problems: "List[str]"
+    surviving_guaranteed_violations: int
+    unexplained_reroutes: "List[str]"
+
+
+def _tenant_request(client: str, cpu: int, guaranteed: bool,
+                    start: float, duration: float) -> ServiceRequest:
+    if guaranteed:
+        service_class = ServiceClass.GUARANTEED
+        cpu_parameter = exact_parameter(Dimension.CPU, cpu)
+    else:
+        service_class = ServiceClass.CONTROLLED_LOAD
+        cpu_parameter = range_parameter(Dimension.CPU,
+                                        max(1, cpu // 2), cpu)
+    spec = QoSSpecification.of(
+        cpu_parameter, exact_parameter(Dimension.MEMORY_MB, 512))
+    return ServiceRequest(
+        client=client, service_name="simulation-service",
+        service_class=service_class, specification=spec,
+        start=start, end=start + duration)
+
+
+def run_federate_demo(*, domains: int = 3, crash_seed: int = 7,
+                      horizon: float = 120.0) -> FederateDemoResult:
+    """Run the acceptance episode and render its report."""
+    rng = RandomSource(crash_seed)
+    plane = FederatedControlPlane(domains=domains, seed=crash_seed)
+    names = plane.names
+    crash_domain = rng.stream("crash").choice(names)
+
+    # Guaranteed-class violation attribution per domain, via each
+    # domain's own notification hub.
+    violating: "Dict[str, Set[int]]" = {name: set() for name in names}
+
+    def subscribe(name: str) -> None:
+        testbed = plane.domains[name].testbed
+
+        def on_notice(notice, name=name, testbed=testbed) -> None:
+            if notice.report is None or notice.report.conformant:
+                return
+            try:
+                sla = testbed.repository.get(notice.sla_id)
+            except SLAError:
+                return
+            if sla.service_class is ServiceClass.GUARANTEED:
+                violating[name].add(notice.sla_id)
+
+        testbed.broker.hub.subscribe(on_notice)
+        testbed.broker.verifier.start_polling(5.0)
+
+    for name in names:
+        subscribe(name)
+
+    workload_rng = rng.stream("workload")
+    outcomes: "List[FederatedOutcome]" = []
+    at = 2.0
+    index = 0
+    while at < 0.75 * horizon:
+        client = f"tenant-{index:02d}"
+        cpu = workload_rng.randint(2, 8)
+        guaranteed = workload_rng.probability(0.7)
+        duration = 30.0 + workload_rng.uniform(0.0, 40.0)
+        home = names[index % len(names)]
+
+        def admit(client=client, cpu=cpu, guaranteed=guaranteed,
+                  duration=duration, home=home) -> None:
+            outcomes.append(plane.request_service(
+                _tenant_request(client, cpu, guaranteed,
+                                plane.sim.now, duration), home=home))
+
+        plane.sim.schedule_at(at, admit, label=f"federate:{client}")
+        at += 4.0
+        index += 1
+
+    plane.crash_broker(crash_domain, at=CRASH_AT)
+    plane.recover_broker(crash_domain, at=RECOVER_AT)
+    plane.start_heartbeats(until=horizon)
+    plane.sim.run(until=horizon)
+
+    for name in names:
+        testbed = plane.domains[name].testbed
+        testbed.broker.verifier.stop_polling()
+        if not plane.chaos.is_crashed(name) \
+                and testbed.gateway is not None:
+            testbed.gateway.sweep_stale(0.0)
+
+    problems = federation_invariants(plane)
+    surviving = [name for name in names if name != crash_domain]
+    surviving_violations = sum(len(violating[name]) for name in surviving)
+
+    rerouted = [outcome for outcome in outcomes if outcome.rerouted]
+    explained: "Dict[str, str]" = {}
+    unexplained: "List[str]" = []
+    for outcome in rerouted:
+        client = outcome.request.client
+        text = _explain_reroute(plane, client)
+        if text is None:
+            unexplained.append(client)
+        else:
+            explained[client] = text
+
+    text = _render(plane, crash_domain=crash_domain, outcomes=outcomes,
+                   violating=violating, problems=problems,
+                   surviving_violations=surviving_violations,
+                   rerouted=rerouted, explained=explained,
+                   unexplained=unexplained, horizon=horizon)
+    return FederateDemoResult(
+        text=text, plane=plane, crash_domain=crash_domain,
+        outcomes=outcomes, problems=problems,
+        surviving_guaranteed_violations=surviving_violations,
+        unexplained_reroutes=unexplained)
+
+
+def _explain_reroute(plane: FederatedControlPlane,
+                     client: str) -> "str | None":
+    """The ``repro obs why`` story for one rerouted client, from the
+    domain whose decision log carries the federation verdicts."""
+    for name in plane.names:
+        testbed = plane.domains[name].testbed
+        decisions = testbed.decisions
+        if decisions is None:
+            continue
+        federation_records = [record for record
+                              in decisions.for_subject(client)
+                              if record.action == "federation"]
+        if not any(record.outcome == "reroute"
+                   for record in federation_records):
+            continue
+        recorder = FlightRecorder(decisions=decisions,
+                                  journal=testbed.journal,
+                                  slo=testbed.slo)
+        return f"[decision log of {name}]\n" + recorder.why(client)
+    return None
+
+
+def _render(plane: FederatedControlPlane, *, crash_domain: str,
+            outcomes, violating, problems, surviving_violations: int,
+            rerouted, explained, unexplained,
+            horizon: float) -> str:
+    lines: "List[str]" = []
+    names = plane.names
+    lines.append(f"# repro federate — {len(names)} domains, horizon "
+                 f"{horizon:g}")
+    lines.append(f"crash: {crash_domain} down at t={CRASH_AT:g}, "
+                 f"rejoined at t={RECOVER_AT:g}")
+    lines.append("")
+    lines.append("## outcomes")
+    stats = plane.stats
+    accepted = sum(1 for outcome in outcomes if outcome.accepted)
+    lines.append(
+        f"requests={len(outcomes)} accepted={accepted} "
+        f"local={stats['local']} delegated={stats['delegated']} "
+        f"rerouted={stats['rerouted']} rejected={stats['rejected']}")
+    lines.append(f"heartbeat rounds: {stats['heartbeat_rounds']}; "
+                 f"reconciled cancellations: "
+                 f"{stats['reconciled_cancellations']}")
+    lines.append("")
+    lines.append("## per-domain")
+    for name in names:
+        testbed = plane.domains[name].testbed
+        slo = testbed.slo
+        availability = 1.0
+        if slo is not None:
+            snapshot = slo.snapshot(plane.sim.now)
+            entry = snapshot.get(ServiceClass.GUARANTEED.value, {})
+            availability = float(entry.get("availability", 1.0))
+        tag = " (crashed during the run)" if name == crash_domain else ""
+        lines.append(
+            f"{name}{tag}: live={len(testbed.repository.live())} "
+            f"total={len(testbed.repository.all())} "
+            f"guaranteed_violations={len(violating[name])} "
+            f"guaranteed_availability={availability:g}")
+    lines.append("")
+    lines.append(f"## rerouted admissions ({len(rerouted)})")
+    for outcome in rerouted:
+        client = outcome.request.client
+        landing = outcome.domain if outcome.accepted else "nowhere"
+        lines.append(f"- {client}: home {outcome.home} -> {landing}"
+                     f"{' (delegated)' if outcome.delegated else ''}")
+    for client in sorted(explained):
+        lines.append("")
+        lines.append(explained[client].rstrip())
+    if unexplained:
+        lines.append(f"UNEXPLAINED reroutes: {sorted(unexplained)}")
+    lines.append("")
+    lines.append("## verdict")
+    lines.append(f"federation invariants: "
+                 f"{'OK' if not problems else 'VIOLATED'} "
+                 f"({len(problems)} problem(s))")
+    for problem in problems:
+        lines.append(f"   - {problem}")
+    lines.append(f"guaranteed violations in surviving domains: "
+                 f"{surviving_violations}")
+    return "\n".join(lines) + "\n"

@@ -123,7 +123,7 @@ class FlightRecorder:
         if target == "all":
             records = [record for record in self.decisions.records
                        if record.action in ("admission", "best_effort",
-                                            "activation")]
+                                            "activation", "federation")]
             title = "all admission outcomes"
         elif isinstance(target, int):
             records = self.decisions.for_sla(target)

@@ -52,12 +52,29 @@ RESTORATION = "restoration"
 BEST_EFFORT_SET = "best_effort_set"
 #: A recovery pass completed (payload: the reconciliation counters).
 RECOVERED = "recovered"
+#: A cross-domain delegation opened (home side: intent to delegate to
+#: a peer; peer side: intent to admit on a home's behalf).  Written
+#: *before* the first admission mutation, so a rejoining broker can
+#: always tell a delegated booking from a local one.
+DELEGATION_BEGIN = "delegation_begin"
+#: The peer admitted the delegated request (payload links the
+#: delegation id to the SLA the admission produced).
+DELEGATION_ACCEPTED = "delegation_accepted"
+#: The home domain confirmed the delegation end-to-end (both sides
+#: write one; a booking without it is half-delegated and gets
+#: cancelled by reconciliation on rejoin).
+DELEGATION_CONFIRMED = "delegation_confirmed"
+#: The delegation was abandoned — peer unreachable, confirm lost, or
+#: reconciliation rolled back a half-delegated booking.
+DELEGATION_CANCELLED = "delegation_cancelled"
 
 #: Every record type the journal accepts.
 RECORD_TYPES = frozenset({
     SLA_SAVED, RESERVE_BEGIN, COMPUTE_BOOKED, NETWORK_BOOKED,
     RESERVE_END, CONFIRM, CANCEL, MODIFY, CAPACITY_REBALANCED,
     VIOLATION, RESTORATION, BEST_EFFORT_SET, RECOVERED,
+    DELEGATION_BEGIN, DELEGATION_ACCEPTED, DELEGATION_CONFIRMED,
+    DELEGATION_CANCELLED,
 })
 
 #: Length prefix: 4-byte big-endian record size.

@@ -70,9 +70,11 @@ PHASE_FUNCTIONS: "Dict[Phase, Tuple[QoSFunction, ...]]" = {
 }
 
 #: Legal termination causes (Section 3: "resource reservation
-#: expiration, SLA violation or a Grid service completion").
+#: expiration, SLA violation or a Grid service completion", plus a
+#: client-initiated withdrawal and the federation rolling back a
+#: half-delegated cross-domain booking).
 TERMINATION_CAUSES = ("expiration", "violation", "completion",
-                      "client-request")
+                      "client-request", "delegation-rollback")
 
 
 @dataclass

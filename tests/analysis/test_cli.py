@@ -48,6 +48,9 @@ VIOLATIONS = {
                 "class Helper:\n"
                 "    def tidy(self, composite):\n"
                 "        composite.confirmed = True\n"),
+    "QLNT117": ("repro/federation/raw_send.py",
+                "def f(bus, envelope):\n"
+                "    return bus.send_async(envelope)\n"),
 }
 
 

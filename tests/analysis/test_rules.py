@@ -677,6 +677,48 @@ class TestDecisionProvenance:
 
 
 # ----------------------------------------------------------------------
+# QLNT117 — raw bus send inside repro.federation
+# ----------------------------------------------------------------------
+
+class TestRawFederationSend:
+    PLANE = "src/repro/federation/plane.py"
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(bus, envelope):\n    return bus.request(envelope)\n",
+        "def f(bus, envelope):\n    bus.send_async(envelope)\n",
+        ("class Endpoint:\n"
+         "    def ping(self, envelope):\n"
+         "        return self._bus.request(envelope)\n"),
+        ("def f(plane, envelope):\n"
+         "    return plane.bus.request(envelope)\n"),
+    ])
+    def test_raw_send_in_federation_flags(self, run, snippet):
+        findings = run(snippet, relpath=self.PLANE, rule_id="QLNT117")
+        assert findings and "ResilientCaller" in findings[0].message
+
+    def test_resilient_caller_is_clean(self, run):
+        snippet = ("def f(caller, envelope):\n"
+                   "    return caller.call(envelope)\n")
+        assert run(snippet, relpath=self.PLANE, rule_id="QLNT117") == []
+
+    def test_handler_registration_is_clean(self, run):
+        # Registering a handler on the bus is receive-side wiring, not
+        # a send; only the send primitives are constrained.
+        snippet = ("def wire(bus, endpoint):\n"
+                   "    bus.register('fed:d1', endpoint.handle)\n")
+        assert run(snippet, relpath=self.PLANE, rule_id="QLNT117") == []
+
+    def test_outside_federation_is_exempt(self, run):
+        assert run("def f(bus, e):\n    return bus.request(e)\n",
+                   relpath="src/repro/xmlmsg/resilient.py",
+                   rule_id="QLNT117") == []
+
+    def test_non_bus_receiver_is_clean(self, run):
+        assert run("def f(session, e):\n    return session.request(e)\n",
+                   relpath=self.PLANE, rule_id="QLNT117") == []
+
+
+# ----------------------------------------------------------------------
 # Catalogue invariants
 # ----------------------------------------------------------------------
 
@@ -687,5 +729,5 @@ def test_rule_catalogue_is_stable():
     assert len(ids) == len(set(ids))
     assert len(ids) >= 8
     assert all(rule.title for rule in rules)
-    expected = {f"QLNT1{n:02d}" for n in range(1, 17)}
+    expected = {f"QLNT1{n:02d}" for n in range(1, 18)}
     assert set(ids) == expected

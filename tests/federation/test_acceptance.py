@@ -1,0 +1,70 @@
+"""The PR's acceptance episode, as a test.
+
+A seeded 3-domain federation with one broker crashed at t=30 and
+rejoined at t=60 must complete with zero guaranteed-SLA violations in
+the surviving domains, every rerouted admission explained by decision
+provenance (the ``repro obs why`` join), and the federation invariants
+intact — plus the ``repro federate`` CLI wrapping of the same episode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.federation.demo import CRASH_AT, RECOVER_AT, run_federate_demo
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return run_federate_demo(domains=3, crash_seed=7)
+
+
+class TestAcceptanceEpisode:
+    def test_crash_and_rejoin_are_on_schedule(self, demo):
+        crashes = demo.plane.crashes
+        recoveries = demo.plane.recoveries
+        assert [(time, name) for time, name, _ in crashes] \
+            == [(CRASH_AT, demo.crash_domain)]
+        assert recoveries == [(RECOVER_AT, demo.crash_domain)]
+
+    def test_zero_guaranteed_violations_in_surviving_domains(self, demo):
+        assert demo.surviving_guaranteed_violations == 0
+
+    def test_every_reroute_is_explained(self, demo):
+        rerouted = [o for o in demo.outcomes if o.rerouted]
+        assert rerouted, "the episode must exercise rerouting"
+        assert demo.unexplained_reroutes == []
+        for outcome in rerouted:
+            assert outcome.request.client in demo.text
+
+    def test_federation_invariants_hold(self, demo):
+        assert demo.problems == []
+
+    def test_workload_actually_crossed_domains(self, demo):
+        stats = demo.plane.stats
+        assert stats["requests"] >= 20
+        assert stats["rerouted"] >= 1
+        accepted = sum(1 for o in demo.outcomes if o.accepted)
+        assert accepted >= stats["requests"] // 2
+
+    def test_report_text_is_deterministic(self, demo):
+        again = run_federate_demo(domains=3, crash_seed=7)
+        assert again.text == demo.text
+        assert again.crash_domain == demo.crash_domain
+
+
+class TestFederateCli:
+    def test_exit_zero_and_report(self, capsys):
+        assert main(["federate", "--domains", "3", "--crash", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "# repro federate — 3 domains" in output
+        assert "## verdict" in output
+        assert "federation invariants: OK" in output
+        assert "guaranteed violations in surviving domains: 0" in output
+
+    def test_cli_report_is_deterministic(self, capsys):
+        main(["federate", "--crash", "7"])
+        first = capsys.readouterr().out
+        main(["federate", "--crash", "7"])
+        assert capsys.readouterr().out == first

@@ -1,0 +1,76 @@
+"""``install_all``: one call wires every cross-cutting layer.
+
+The federation stands up N domains in a loop; a forgotten installer on
+one of them would make that domain silently asymmetric (no journal —
+nothing to recover; no decision log — unexplainable reroutes). The
+helper therefore composes all the layers and must be idempotent so
+wiring code can call it defensively.
+"""
+
+from __future__ import annotations
+
+from repro.core.testbed import build_testbed, install_all
+from repro.recovery.journal import MemoryJournalStore
+from repro.xmlmsg.bus import MessageBus
+
+
+class TestComposition:
+    def test_installs_every_layer(self):
+        testbed = install_all(build_testbed(seed=0))
+        assert testbed.telemetry is not None
+        assert testbed.bus is not None
+        assert testbed.gateway is not None
+        assert testbed.registry_endpoint is not None
+        assert testbed.journal is not None
+        assert testbed.decisions is not None
+        assert testbed.slo is not None
+        # Chaos stays off unless a seed is passed.
+        assert testbed.faults is None
+
+    def test_chaos_seed_arms_fault_injection(self):
+        testbed = install_all(build_testbed(seed=0), chaos_seed=7,
+                              chaos_options={"drop": 0.5})
+        assert testbed.faults is not None
+
+    def test_journal_store_is_honored(self):
+        store = MemoryJournalStore()
+        testbed = install_all(build_testbed(seed=0), journal_store=store)
+        assert testbed.journal is not None
+        assert testbed.journal.store is store
+
+    def test_idempotent(self):
+        testbed = build_testbed(seed=0)
+        install_all(testbed)
+        telemetry = testbed.telemetry
+        bus = testbed.bus
+        gateway = testbed.gateway
+        journal = testbed.journal
+        decisions = testbed.decisions
+        slo = testbed.slo
+        install_all(testbed)
+        assert testbed.telemetry is telemetry
+        assert testbed.bus is bus
+        assert testbed.gateway is gateway
+        assert testbed.journal is journal
+        assert testbed.decisions is decisions
+        assert testbed.slo is slo
+
+    def test_shared_bus_with_per_domain_endpoints(self):
+        sim_bed = build_testbed(seed=0)
+        install_all(sim_bed, gateway_name="aqos:d1",
+                    registry_name="uddie:d1",
+                    relay_name="notification-hub:d1",
+                    discovery_name="aqos-discovery:d1")
+        bus = sim_bed.bus
+        assert isinstance(bus, MessageBus)
+        peer = build_testbed(seed=1, sim=sim_bed.sim,
+                             trace=sim_bed.trace)
+        install_all(peer, bus=bus, gateway_name="aqos:d2",
+                    registry_name="uddie:d2",
+                    relay_name="notification-hub:d2",
+                    discovery_name="aqos-discovery:d2")
+        assert peer.bus is bus
+        assert sim_bed.gateway is not None
+        assert peer.gateway is not None
+        assert sim_bed.gateway.endpoint_name == "aqos:d1"
+        assert peer.gateway.endpoint_name == "aqos:d2"
